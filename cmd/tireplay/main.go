@@ -1,0 +1,85 @@
+// Command tireplay replays a time-independent trace on a simulated platform
+// and prints the predicted execution time — the equivalent of the paper's
+//
+//	smpirun -np 8 -hostfile hostfile -platform platform.xml \
+//	    ./smpi_replay trace_description
+//
+// Usage:
+//
+//	tireplay -desc traces/lu_b8.desc -np 8 -platform platform.json \
+//	    [-backend smpi|msg] [-speed 2.5e9] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay"
+)
+
+func main() {
+	desc := flag.String("desc", "", "trace description file (one trace file per rank, or a single merged trace)")
+	np := flag.Int("np", 0, "number of ranks (required with a merged trace; otherwise inferred)")
+	platPath := flag.String("platform", "", "platform description (JSON)")
+	backend := flag.String("backend", "smpi", "replay backend: smpi (accurate) or msg (legacy prototype)")
+	speed := flag.Float64("speed", 0, "override host compute rate (instructions/s), e.g. a calibrated value")
+	validate := flag.Bool("validate", false, "cross-validate the trace before replaying")
+	verbose := flag.Bool("v", false, "print engine statistics")
+	flag.Parse()
+
+	if *desc == "" || *platPath == "" {
+		fmt.Fprintln(os.Stderr, "tireplay: -desc and -platform are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	plat, model, err := tireplay.LoadPlatform(*platPath)
+	fatal(err)
+	n := *np
+	if n == 0 {
+		n = plat.Size()
+	}
+	if *speed > 0 {
+		plat.SetSpeed(*speed)
+	}
+
+	if *validate {
+		prov, err := tireplay.LoadTraces(*desc, n)
+		fatal(err)
+		fatal(tireplay.ValidateTraces(prov))
+		fmt.Println("trace validated: sends/receives matched, collectives balanced")
+	}
+
+	prov, err := tireplay.LoadTraces(*desc, n)
+	fatal(err)
+
+	cfg := tireplay.ReplayConfig{Network: model}
+	switch *backend {
+	case "smpi":
+		cfg.Backend = tireplay.SMPI
+	case "msg":
+		cfg.Backend = tireplay.MSG
+		cfg.Network = nil // the prototype had no piece-wise factors
+		cfg.MSG = tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8}
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want smpi or msg)", *backend))
+	}
+
+	res, err := tireplay.Replay(prov, plat, cfg)
+	fatal(err)
+
+	fmt.Printf("simulated time: %.6f s\n", res.SimulatedTime)
+	fmt.Printf("replayed %d actions in %v (%.0f actions/s)\n",
+		res.Actions, res.Wall, res.ActionsPerSecond())
+	if *verbose {
+		fmt.Printf("engine: %+v\n", res.Engine)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tireplay:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command tracegen generates time-independent traces for NPB workload
+// instances, either distortion-free ("perfect", what coarse counters would
+// record) or as acquired through an instrumented run on one of the emulated
+// clusters (inflated compute volumes).
+//
+// Usage:
+//
+//	tracegen -workload lu -class B -np 8 [-iters 250] [-o traces] [-prefix lu_b8]
+//	    [-mode perfect|minimal|fine] [-cluster bordereau|graphene] [-O3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay"
+)
+
+func main() {
+	workload := flag.String("workload", "lu", "workload: lu, cg, ep, or mg")
+	classStr := flag.String("class", "B", "NPB class: S, W, A, B, C, D")
+	np := flag.Int("np", 8, "number of processes (power of two)")
+	iters := flag.Int("iters", 0, "iterations (0 = class default)")
+	outDir := flag.String("o", "traces", "output directory")
+	prefix := flag.String("prefix", "", "file prefix (default <workload>_<class><np>)")
+	mode := flag.String("mode", "perfect", "acquisition mode: perfect, minimal, fine")
+	clusterName := flag.String("cluster", "graphene", "emulated cluster for instrumented acquisition")
+	o3 := flag.Bool("O3", false, "acquire from an -O3 build")
+	fold := flag.Bool("fold", false, "write loop-folded trace files (lossless; replayer expands them)")
+	flag.Parse()
+
+	class := tireplay.NPBClass((*classStr)[0])
+	var w tireplay.Workload
+	var err error
+	switch *workload {
+	case "lu":
+		w, err = tireplay.NewLU(class, *np, *iters)
+	case "cg":
+		w, err = tireplay.NewCG(class, *np, *iters)
+	case "ep":
+		w, err = tireplay.NewEP(class, *np)
+	case "mg":
+		w, err = tireplay.NewMG(class, *np, *iters)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	fatal(err)
+
+	var prov tireplay.TraceProvider
+	switch *mode {
+	case "perfect":
+		prov = tireplay.PerfectTrace(w)
+	case "minimal", "fine":
+		var cluster *tireplay.GroundCluster
+		switch *clusterName {
+		case "bordereau":
+			cluster = tireplay.Bordereau()
+		case "graphene":
+			cluster = tireplay.Graphene()
+		default:
+			fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+		}
+		imode := tireplay.MinimalInstrumentation
+		if *mode == "fine" {
+			imode = tireplay.FineInstrumentation
+		}
+		compile := tireplay.CompileO0
+		if *o3 {
+			compile = tireplay.CompileO3
+		}
+		prov, err = tireplay.AcquiredTrace(w, cluster.InstrConfig(imode, compile, class))
+		fatal(err)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	name := *prefix
+	if name == "" {
+		name = fmt.Sprintf("%s_%s%d", *workload, string(class), *np)
+	}
+	perRank, err := tireplay.Materialize(prov)
+	fatal(err)
+	var desc string
+	if *fold {
+		desc, err = tireplay.WriteFoldedTraces(*outDir, name, perRank)
+	} else {
+		desc, err = tireplay.WriteTraces(*outDir, name, perRank)
+	}
+	fatal(err)
+
+	stats, err := tireplay.CollectTraceStats(tireplay.TracesInMemory(perRank), 65536)
+	fatal(err)
+	fmt.Printf("wrote %s (%d ranks)\n", desc, stats.Ranks)
+	fmt.Printf("  instructions: %.4g total\n", stats.Instructions)
+	fmt.Printf("  p2p: %d messages, %.4g bytes (%d eager < 64 KiB)\n",
+		stats.P2PMessages, stats.P2PBytes, stats.EagerMessages)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

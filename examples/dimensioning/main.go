@@ -1,0 +1,88 @@
+// Dimensioning: the use case the paper's introduction motivates — "when a
+// platform is yet to be specified and purchased, simulations can be used to
+// determine a cost-effective hardware configuration appropriate for the
+// expected application workload". One LU C-32 trace is replayed on a grid
+// of hypothetical platforms (CPU speed x network generation) to find the
+// cheapest configuration meeting a time budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tireplay"
+)
+
+const (
+	procs      = 32
+	iters      = 10
+	timeBudget = 4.0 // seconds, for the reduced-iteration instance
+)
+
+type network struct {
+	name     string
+	linkBw   float64
+	linkLat  float64
+	backbone float64
+	price    float64 // per node, arbitrary units
+}
+
+func main() {
+	lu, err := tireplay.NewLU(tireplay.ClassC, procs, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	networks := []network{
+		{"1 GbE", 1.25e8, 3.0e-5, 1.25e9, 1.0},
+		{"10 GbE", 1.25e9, 1.2e-5, 1.25e10, 2.5},
+		{"IB QDR", 4.0e9, 2.0e-6, 4.0e10, 4.0},
+	}
+	speeds := []struct {
+		name  string
+		rate  float64
+		price float64
+	}{
+		{"2.0 GHz", 2.0e9, 3},
+		{"2.6 GHz", 2.6e9, 4},
+		{"3.3 GHz", 3.3e9, 6},
+	}
+
+	fmt.Printf("LU C-%d, %d iterations, budget %.1f s\n\n", procs, iters, timeBudget)
+	fmt.Printf("%-10s | %-8s | %9s | %7s | %s\n", "network", "cpu", "predicted", "price", "verdict")
+	fmt.Println("------------------------------------------------------------")
+
+	bestPrice, bestDesc := 0.0, ""
+	for _, nw := range networks {
+		for _, cpu := range speeds {
+			plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+				Name: "candidate", Hosts: procs, Speed: cpu.rate,
+				LinkBandwidth: nw.linkBw, LinkLatency: nw.linkLat,
+				BackboneBandwidth: nw.backbone, BackboneLatency: 1e-6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat,
+				tireplay.ReplayConfig{Backend: tireplay.SMPI})
+			if err != nil {
+				log.Fatal(err)
+			}
+			price := float64(procs) * (nw.price + cpu.price)
+			verdict := "over budget"
+			if res.SimulatedTime <= timeBudget {
+				verdict = "OK"
+				if bestDesc == "" || price < bestPrice {
+					bestPrice, bestDesc = price, nw.name+" + "+cpu.name
+				}
+			}
+			fmt.Printf("%-10s | %-8s | %8.2fs | %7.0f | %s\n",
+				nw.name, cpu.name, res.SimulatedTime, price, verdict)
+		}
+	}
+	if bestDesc == "" {
+		fmt.Println("\nno configuration meets the budget")
+		return
+	}
+	fmt.Printf("\ncheapest configuration within budget: %s (price %.0f)\n", bestDesc, bestPrice)
+}

@@ -1,0 +1,74 @@
+// LU prediction: the paper's headline scenario end to end. Acquire a trace
+// of NAS LU on the emulated graphene cluster with minimal instrumentation,
+// calibrate the simulator cache-awarely, replay with the SMPI backend, and
+// compare the prediction to the emulated "real" execution — reporting the
+// same relative error Figures 6/7 plot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tireplay"
+)
+
+const iters = 10 // reduced SSOR iterations; errors are iteration-invariant
+
+func main() {
+	cluster := tireplay.Graphene()
+	fmt.Printf("target cluster: %s (%d nodes, L2 %d KiB)\n",
+		cluster.Name, cluster.Hosts, int(cluster.L2Bytes/1024))
+
+	// Calibrate once: A-4 plus class rates (Section 3.4 of the paper).
+	cal, err := tireplay.CalibrateCacheAware(cluster, []tireplay.NPBClass{tireplay.ClassB}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated rates: A-4 %.3g instr/s, B-4 %.3g instr/s\n",
+		cal.ARate, cal.ClassRates[tireplay.ClassB])
+
+	for _, procs := range []int{8, 16, 32, 64} {
+		lu, err := tireplay.NewLU(tireplay.ClassB, procs, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// "Real" execution of the original (-O3, uninstrumented) binary.
+		real, err := cluster.Run(lu, cluster.InstrConfig(
+			tireplay.Uninstrumented, tireplay.CompileO3, tireplay.ClassB))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Acquisition run with minimal instrumentation.
+		trace, err := tireplay.AcquiredTrace(lu, cluster.InstrConfig(
+			tireplay.MinimalInstrumentation, tireplay.CompileO3, tireplay.ClassB))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Target platform with the calibrated rate; the SMPI replay gets
+		// the cluster's network model but (faithfully to the paper-era
+		// SMPI) no eager memcpy model.
+		plat, model, err := cluster.Platform(procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plat.SetSpeed(cal.RateFor(lu, tireplay.ClassB))
+		replayMPI := cluster.MPI
+		replayMPI.MemcpyBandwidth, replayMPI.MemcpyLatency = 0, 0
+
+		res, err := tireplay.Replay(trace, plat, tireplay.ReplayConfig{
+			Backend: tireplay.SMPI,
+			Network: model,
+			MPI:     replayMPI,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		errPct := 100 * (res.SimulatedTime - real.Time) / real.Time
+		fmt.Printf("LU B-%-3d real %8.3f s  predicted %8.3f s  error %+5.1f%%  (replay: %v)\n",
+			procs, real.Time, res.SimulatedTime, errPct, res.Wall.Round(1e6))
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tireplay/internal/trace"
+)
+
+// Property: for a compute-only trace, simulated time equals total
+// instructions divided by host speed, for random volumes.
+func TestComputeOnlyExactProperty(t *testing.T) {
+	plat := testPlatform(t, 1)
+	f := func(vols []uint32) bool {
+		var actions []trace.Action
+		total := 0.0
+		for _, v := range vols {
+			actions = append(actions, trace.Action{Rank: 0, Kind: trace.Compute, Instructions: float64(v), Peer: -1})
+			total += float64(v)
+		}
+		prov := trace.NewMemProvider([][]trace.Action{actions})
+		res, err := Replay(prov, plat, Config{})
+		if err != nil {
+			return false
+		}
+		want := total / 1e9
+		return res.SimulatedTime >= want*(1-1e-9) && res.SimulatedTime <= want*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubling every compute volume of a compute-dominated trace
+// roughly doubles the predicted time (scaling sanity).
+func TestComputeScalingProperty(t *testing.T) {
+	run := func(scale float64) float64 {
+		mk := func(rank, peer int) []trace.Action {
+			var a []trace.Action
+			for i := 0; i < 20; i++ {
+				a = append(a,
+					trace.Action{Rank: rank, Kind: trace.Compute, Instructions: scale * 1e7, Peer: -1},
+					trace.Action{Rank: rank, Kind: trace.Send, Peer: peer, Bytes: 1000},
+					trace.Action{Rank: rank, Kind: trace.Recv, Peer: peer, Bytes: 1000},
+				)
+			}
+			return a
+		}
+		prov := trace.NewMemProvider([][]trace.Action{mk(0, 1), mk(1, 0)})
+		res, err := Replay(prov, testPlatform(t, 2), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimulatedTime
+	}
+	t1, t2 := run(1), run(2)
+	if t2 < 1.8*t1 || t2 > 2.2*t1 {
+		t.Fatalf("doubling compute scaled time by %.3f, want ~2", t2/t1)
+	}
+}
+
+// Property: random balanced traces (matched sends/receives with random
+// sizes and interleavings) always replay to completion under both backends.
+func TestRandomBalancedTracesReplayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4
+		perRank := make([][]trace.Action, n)
+		// Generate rounds: in each round a random pair exchanges a random
+		// message, everyone computes, occasionally all ranks join a
+		// collective.
+		for round := 0; round < 20; round++ {
+			src := rng.Intn(n)
+			dst := (src + 1 + rng.Intn(n-1)) % n
+			size := float64(1 + rng.Intn(200000))
+			perRank[src] = append(perRank[src], trace.Action{Rank: src, Kind: trace.Send, Peer: dst, Bytes: size})
+			perRank[dst] = append(perRank[dst], trace.Action{Rank: dst, Kind: trace.Recv, Peer: src, Bytes: size})
+			for r := 0; r < n; r++ {
+				perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.Compute, Instructions: float64(rng.Intn(1e6)), Peer: -1})
+			}
+			if rng.Intn(4) == 0 {
+				for r := 0; r < n; r++ {
+					perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.AllReduce, Bytes: 40, Peer: -1})
+				}
+			}
+		}
+		for _, backend := range []BackendKind{SMPI, MSG} {
+			cfg := Config{Backend: backend}
+			if backend == MSG {
+				cfg.MSG.RefLatency, cfg.MSG.RefBandwidth = 1e-5, 1e9
+			}
+			prov := trace.NewMemProvider(perRank)
+			res, err := Replay(prov, testPlatform(t, n), cfg)
+			if err != nil || res.SimulatedTime < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: a trace that deadlocks (crossed blocking receives)
+// must be reported as a deadlock, not hang.
+func TestCrossedRecvDeadlockReported(t *testing.T) {
+	perRank := [][]trace.Action{
+		{{Rank: 0, Kind: trace.Recv, Peer: 1, Bytes: 8}, {Rank: 0, Kind: trace.Send, Peer: 1, Bytes: 8}},
+		{{Rank: 1, Kind: trace.Recv, Peer: 0, Bytes: 8}, {Rank: 1, Kind: trace.Send, Peer: 0, Bytes: 8}},
+	}
+	prov := trace.NewMemProvider(perRank)
+	if _, err := Replay(prov, testPlatform(t, 2), Config{}); err == nil {
+		t.Fatal("crossed blocking receives must deadlock")
+	}
+}
+
+// Failure injection: collective imbalance (one rank missing a barrier)
+// deadlocks under the SMPI backend and is reported.
+func TestCollectiveImbalanceReported(t *testing.T) {
+	perRank := [][]trace.Action{
+		{{Rank: 0, Kind: trace.Barrier, Peer: -1}},
+		{{Rank: 1, Kind: trace.Compute, Instructions: 1, Peer: -1}},
+	}
+	prov := trace.NewMemProvider(perRank)
+	if _, err := Replay(prov, testPlatform(t, 2), Config{}); err == nil {
+		t.Fatal("imbalanced barrier must be reported")
+	}
+}

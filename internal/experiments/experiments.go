@@ -1,0 +1,336 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each runner assembles the full tool chain — workload
+// generation, emulated acquisition on the ground-truth cluster,
+// calibration, trace replay — and returns structured rows; the render
+// functions print them in a shape comparable to the paper's tables.
+//
+// The SSOR loop is steady-state, so runners default to a reduced iteration
+// count and scale reported times back to the class itmax; relative
+// overheads and errors are iteration-invariant (see DESIGN.md §5.6 and
+// EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"tireplay/internal/calibrate"
+	"tireplay/internal/core"
+	"tireplay/internal/ground"
+	"tireplay/internal/instrument"
+	"tireplay/internal/msgreplay"
+	"tireplay/internal/npb"
+	"tireplay/internal/stats"
+)
+
+// Options tunes experiment execution cost.
+type Options struct {
+	// Iterations is the SSOR iteration count per run; 0 selects the
+	// default reduced count (25). Reported times are scaled to the class
+	// itmax.
+	Iterations int
+	// CalibrationIterations for the class-4 calibration runs (default 5).
+	CalibrationIterations int
+}
+
+func (o Options) iters() int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	return 25
+}
+
+func (o Options) calIters() int {
+	if o.CalibrationIterations > 0 {
+		return o.CalibrationIterations
+	}
+	return 5
+}
+
+// scaleToFull converts a reduced-run time to the full-instance equivalent.
+func scaleToFull(t float64, class npb.Class, iters int) float64 {
+	full, err := npb.NewLU(class, 4, 0) // class default itmax
+	if err != nil {
+		return t
+	}
+	return t * float64(full.ItMax()) / float64(iters)
+}
+
+// BordereauProcs and GrapheneProcs are the process counts of the paper's
+// study on each cluster.
+var (
+	BordereauProcs = []int{8, 16, 32, 64}
+	GrapheneProcs  = []int{8, 16, 32, 64, 128}
+	StudyClasses   = []npb.Class{npb.ClassB, npb.ClassC}
+)
+
+// ---------------------------------------------------------------------------
+// Tables 1 and 2: instrumentation time overhead, old vs new acquisition.
+
+// OverheadRow is one instance line of Table 1/2.
+type OverheadRow struct {
+	Instance string
+	// Old acquisition: -O0 build, fine-grain TAU instrumentation.
+	OldOrig, OldInstr, OldOverheadPct float64
+	// New acquisition: -O3 build, minimal instrumentation.
+	NewOrig, NewInstr, NewOverheadPct float64
+}
+
+// TableOverhead reproduces Table 1 (bordereau) or Table 2 (graphene):
+// original vs instrumented execution times under both acquisition setups.
+func TableOverhead(c *ground.Cluster, classes []npb.Class, procs []int, opt Options) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, class := range classes {
+		for _, p := range procs {
+			if p > c.Hosts {
+				continue
+			}
+			row := OverheadRow{Instance: fmt.Sprintf("%s-%d", class, p)}
+			runs := []struct {
+				dst  *float64
+				mode instrument.Mode
+				comp instrument.Compile
+			}{
+				{&row.OldOrig, instrument.None, instrument.O0},
+				{&row.OldInstr, instrument.Fine, instrument.O0},
+				{&row.NewOrig, instrument.None, instrument.O3},
+				{&row.NewInstr, instrument.Minimal, instrument.O3},
+			}
+			for _, r := range runs {
+				lu, err := npb.NewLU(class, p, opt.iters())
+				if err != nil {
+					return nil, err
+				}
+				res, err := c.Run(lu, c.InstrConfig(r.mode, r.comp, class))
+				if err != nil {
+					return nil, err
+				}
+				*r.dst = scaleToFull(res.Time, class, opt.iters())
+			}
+			row.OldOverheadPct = stats.RelErr(row.OldInstr, row.OldOrig)
+			row.NewOverheadPct = stats.RelErr(row.NewInstr, row.NewOrig)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1, 2, 4, 5: instruction counter discrepancy distributions.
+
+// DiscrepancyKind selects which comparison a figure shows.
+type DiscrepancyKind int
+
+const (
+	// FineVsCoarse at -O0: Figures 1 (bordereau) and 2 (graphene).
+	FineVsCoarse DiscrepancyKind = iota
+	// MinimalVsCoarse at -O3: Figures 4 and 5.
+	MinimalVsCoarse
+)
+
+func (k DiscrepancyKind) String() string {
+	if k == MinimalVsCoarse {
+		return "minimal vs coarse (-O3)"
+	}
+	return "fine vs coarse (-O0)"
+}
+
+// DiscrepancyRow is one instance of a counter-discrepancy figure: the
+// distribution across processes of the relative difference (in %) between
+// the instrumented and reference counter readings.
+type DiscrepancyRow struct {
+	Instance string
+	Dist     stats.Summary
+}
+
+// FigureDiscrepancy reproduces Figures 1/2/4/5.
+func FigureDiscrepancy(c *ground.Cluster, kind DiscrepancyKind, classes []npb.Class, procs []int, opt Options) ([]DiscrepancyRow, error) {
+	var rows []DiscrepancyRow
+	for _, class := range classes {
+		for _, p := range procs {
+			if p > c.Hosts {
+				continue
+			}
+			lu, err := npb.NewLU(class, p, opt.iters())
+			if err != nil {
+				return nil, err
+			}
+			var instCfg, refCfg instrument.Config
+			switch kind {
+			case FineVsCoarse:
+				instCfg = c.InstrConfig(instrument.Fine, instrument.O0, class)
+				refCfg = c.InstrConfig(instrument.Coarse, instrument.O0, class)
+			case MinimalVsCoarse:
+				instCfg = c.InstrConfig(instrument.Minimal, instrument.O3, class)
+				refCfg = c.InstrConfig(instrument.Coarse, instrument.O3, class)
+			}
+			inst, err := instrument.Counters(lu, instCfg)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := instrument.Counters(lu, refCfg)
+			if err != nil {
+				return nil, err
+			}
+			diffs := make([]float64, len(inst))
+			for r := range inst {
+				diffs[r] = stats.RelErr(inst[r], ref[r])
+			}
+			dist, err := stats.Summarize(diffs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DiscrepancyRow{
+				Instance: fmt.Sprintf("%s-%d", class, p),
+				Dist:     dist,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3, 6, 7: accuracy of the simulated execution.
+
+// Pipeline selects the whole tool-chain generation being evaluated.
+type Pipeline int
+
+const (
+	// OldPipeline is the first implementation: fine instrumentation, -O0,
+	// A-4-only calibration, MSG replay backend (Figure 3).
+	OldPipeline Pipeline = iota
+	// NewPipeline applies every fix of Section 3: minimal instrumentation,
+	// -O3, cache-aware calibration, SMPI replay backend (Figures 6 and 7).
+	NewPipeline
+)
+
+func (p Pipeline) String() string {
+	if p == NewPipeline {
+		return "new (minimal,-O3,cache-aware,SMPI)"
+	}
+	return "old (fine,-O0,A-4,MSG)"
+}
+
+// AccuracyRow is one instance of an accuracy figure.
+type AccuracyRow struct {
+	Instance string
+	Class    npb.Class
+	Procs    int
+	// Real is the emulated real execution time, Sim the replayed
+	// prediction (both scaled to the full instance).
+	Real, Sim float64
+	// ErrPct is the relative error of Sim w.r.t. Real, in percent.
+	ErrPct float64
+	// ReplayWallSeconds and ReplayActions document the efficiency axis.
+	ReplayWallSeconds float64
+	ReplayActions     int64
+}
+
+// FigureAccuracy reproduces Figure 3 (OldPipeline on bordereau) and
+// Figures 6/7 (NewPipeline on bordereau/graphene).
+func FigureAccuracy(c *ground.Cluster, pipe Pipeline, classes []npb.Class, procs []int, opt Options) ([]AccuracyRow, error) {
+	// Calibration is done once per cluster and reused, as in practice.
+	var classicRate float64
+	var cacheAware *calibrate.CacheAware
+	var err error
+	switch pipe {
+	case OldPipeline:
+		classicRate, err = calibrate.ClassicA4(c, opt.calIters())
+	case NewPipeline:
+		cacheAware, err = calibrate.NewCacheAware(c, classes, opt.calIters())
+	default:
+		return nil, fmt.Errorf("experiments: unknown pipeline %d", int(pipe))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []AccuracyRow
+	for _, class := range classes {
+		for _, p := range procs {
+			if p > c.Hosts {
+				continue
+			}
+			row, err := accuracyOne(c, pipe, class, p, classicRate, cacheAware, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func accuracyOne(c *ground.Cluster, pipe Pipeline, class npb.Class, p int,
+	classicRate float64, cacheAware *calibrate.CacheAware, opt Options) (*AccuracyRow, error) {
+
+	mkLU := func() (*npb.LU, error) { return npb.NewLU(class, p, opt.iters()) }
+
+	// 1. Real execution of the original application.
+	lu, err := mkLU()
+	if err != nil {
+		return nil, err
+	}
+	realCompile := instrument.O0
+	if pipe == NewPipeline {
+		realCompile = instrument.O3
+	}
+	real, err := c.Run(lu, c.InstrConfig(instrument.None, realCompile, class))
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Acquire the trace with the pipeline's instrumentation settings.
+	lu, err = mkLU()
+	if err != nil {
+		return nil, err
+	}
+	var acq instrument.Config
+	if pipe == OldPipeline {
+		acq = c.InstrConfig(instrument.Fine, instrument.O0, class)
+	} else {
+		acq = c.InstrConfig(instrument.Minimal, instrument.O3, class)
+	}
+	prov := instrument.Acquired{W: lu, Cfg: acq}
+
+	// 3. Build the target platform and install the calibrated rate.
+	plat, pwModel, err := c.Platform(p)
+	if err != nil {
+		return nil, err
+	}
+	var cfg core.Config
+	if pipe == OldPipeline {
+		plat.SetSpeed(classicRate)
+		cfg = core.Config{
+			Backend: core.MSG,
+			// The MSG prototype's crude hard-coded network reference.
+			MSG: msgreplay.Config{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+		}
+	} else {
+		plat.SetSpeed(cacheAware.RateFor(lu, class))
+		replayMPI := c.MPI
+		replayMPI.MemcpyBandwidth = 0 // SMPI does not model the eager copy yet (§4.3)
+		replayMPI.MemcpyLatency = 0
+		cfg = core.Config{
+			Backend: core.SMPI,
+			Network: pwModel,
+			MPI:     replayMPI,
+		}
+	}
+
+	// 4. Replay.
+	res, err := core.Replay(prov, plat, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	return &AccuracyRow{
+		Instance:          fmt.Sprintf("%s-%d", class, p),
+		Class:             class,
+		Procs:             p,
+		Real:              scaleToFull(real.Time, class, opt.iters()),
+		Sim:               scaleToFull(res.SimulatedTime, class, opt.iters()),
+		ErrPct:            stats.RelErr(res.SimulatedTime, real.Time),
+		ReplayWallSeconds: res.Wall.Seconds(),
+		ReplayActions:     res.Actions,
+	}, nil
+}

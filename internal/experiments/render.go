@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderOverhead prints Table 1/2-style rows.
+func RenderOverhead(w io.Writer, title string, rows []OverheadRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s | %10s %10s %8s | %10s %10s %8s\n",
+		"Instance", "Orig(old)", "Instr(old)", "Ovh(old)", "Orig(new)", "Instr(new)", "Ovh(new)")
+	fmt.Fprintf(w, "%s\n", lineOf(78))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s | %9.2fs %9.2fs %+7.1f%% | %9.2fs %9.2fs %+7.1f%%\n",
+			r.Instance, r.OldOrig, r.OldInstr, r.OldOverheadPct,
+			r.NewOrig, r.NewInstr, r.NewOverheadPct)
+	}
+}
+
+// RenderDiscrepancy prints Figure 1/2/4/5-style rows: the per-process
+// distribution of the relative counter difference.
+func RenderDiscrepancy(w io.Writer, title string, rows []DiscrepancyRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s | %8s %8s %8s %8s %8s | %8s\n",
+		"Instance", "min%", "q1%", "med%", "q3%", "max%", "mean%")
+	fmt.Fprintf(w, "%s\n", lineOf(72))
+	for _, r := range rows {
+		d := r.Dist
+		fmt.Fprintf(w, "%-8s | %8.2f %8.2f %8.2f %8.2f %8.2f | %8.2f\n",
+			r.Instance, d.Min, d.Q1, d.Median, d.Q3, d.Max, d.Mean)
+	}
+}
+
+// RenderAccuracy prints Figure 3/6/7-style rows.
+func RenderAccuracy(w io.Writer, title string, rows []AccuracyRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s | %10s %10s %8s | %10s %12s\n",
+		"Instance", "Real", "Simulated", "Error", "ReplayWall", "Actions/s")
+	fmt.Fprintf(w, "%s\n", lineOf(70))
+	for _, r := range rows {
+		aps := 0.0
+		if r.ReplayWallSeconds > 0 {
+			aps = float64(r.ReplayActions) / r.ReplayWallSeconds
+		}
+		fmt.Fprintf(w, "%-8s | %9.2fs %9.2fs %+7.1f%% | %9.3fs %12.0f\n",
+			r.Instance, r.Real, r.Sim, r.ErrPct, r.ReplayWallSeconds, aps)
+	}
+}
+
+// RenderAblation prints fix-combination error rows grouped by config.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-20s | %-8s | %8s\n", "Configuration", "Instance", "Error")
+	fmt.Fprintf(w, "%s\n", lineOf(44))
+	prev := ""
+	for _, r := range rows {
+		name := r.Config
+		if name == prev {
+			name = ""
+		} else {
+			prev = r.Config
+		}
+		fmt.Fprintf(w, "%-20s | %-8s | %+7.1f%%\n", name, r.Instance, r.ErrPct)
+	}
+}
+
+// RenderDecoupling prints acquisition-site comparison rows.
+func RenderDecoupling(w io.Writer, title string, rows []DecouplingRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s | %14s | %10s | %8s\n", "Acquired on", "Instr/process", "Predicted", "Delta")
+	fmt.Fprintf(w, "%s\n", lineOf(54))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s | %14.4g | %9.2fs | %+7.2f%%\n",
+			r.AcquiredOn, r.Instructions, r.Sim, r.DeltaPct)
+	}
+}
+
+// RenderEfficiency prints replay-cost rows.
+func RenderEfficiency(w io.Writer, title string, rows []EfficiencyRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s | %-5s | %10s %10s | %10s %12s %9s\n",
+		"Instance", "Back", "Sim", "Wall", "Actions", "Actions/s", "Speedup")
+	fmt.Fprintf(w, "%s\n", lineOf(76))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s | %-5s | %9.3fs %9.3fs | %10d %12.0f %8.1fx\n",
+			r.Instance, r.Backend, r.Sim, r.Wall, r.Actions, r.ActionsPerSecond, r.Speedup)
+	}
+}
+
+func lineOf(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

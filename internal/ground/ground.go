@@ -1,0 +1,213 @@
+// Package ground emulates the *real* execution platforms of the paper's
+// evaluation — the Grid'5000 bordereau and graphene clusters — which are the
+// reference every accuracy figure is computed against. Since the physical
+// machines are not available, the emulation is the same simulation kernel
+// configured with a deliberately richer machine model than any replay
+// backend has access to:
+//
+//   - cache-dependent instruction rates: a rank whose hot working set
+//     exceeds the per-core L2 capacity computes at a reduced rate
+//     (Section 2.3);
+//   - the sender-side memory copy of eager messages, which the paper-era
+//     SMPI does not model (Section 4.3);
+//   - deterministic per-rank speed jitter (OS noise, aging hardware — the
+//     paper calls bordereau "prone to failures and suspect behaviors");
+//   - instrumentation probe time and counter inflation when running an
+//     instrumented build (Sections 2.1/2.2).
+//
+// The controlled gaps between this model and the replay backends are what
+// produce the error shapes of Figures 3, 6 and 7.
+package ground
+
+import (
+	"fmt"
+
+	"tireplay/internal/instrument"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/sim"
+	"tireplay/internal/stats"
+	"tireplay/internal/trace"
+)
+
+// Cluster describes one emulated execution platform.
+type Cluster struct {
+	// Name of the cluster ("bordereau", "graphene").
+	Name string
+	// Hosts is the node count (one rank per node).
+	Hosts int
+	// BaseRate is the in-cache instruction rate of one core (instr/s).
+	BaseRate float64
+	// L2Bytes is the per-core L2 capacity.
+	L2Bytes float64
+	// OutOfCacheFactor multiplies the rate of ranks whose working set
+	// exceeds L2Bytes.
+	OutOfCacheFactor float64
+	// JitterAmp is the amplitude of the per-rank slowdown: rank r computes
+	// at BaseRate * cache * (1 - JitterAmp*u_r) with u_r deterministic in
+	// [0,1). Real time can only be lost to noise, never gained.
+	JitterAmp float64
+	// Seed drives the deterministic jitter streams.
+	Seed uint64
+	// MPI is the ground-truth communication model (memcpy modelled).
+	MPI mpi.ModelConfig
+	// O3Scales holds per-class -O3 instruction factors measured on this
+	// cluster's compiler/ISA pair (nil entries fall back to the class
+	// defaults of the instrument package).
+	O3Scales map[npb.Class]float64
+	// ProbeCosts overrides the instrumentation cost model for this cluster
+	// (TAU version, local disk speed); nil keeps the defaults.
+	ProbeCosts *instrument.Costs
+	// Platform materializes the cluster's network for n ranks, together
+	// with its piece-wise-linear factor model.
+	Platform func(n int) (*platform.Platform, *platform.PiecewiseModel, error)
+}
+
+// RunResult is one emulated execution.
+type RunResult struct {
+	// Time is the wall-clock time of the run in seconds (the "real"
+	// execution time of the paper's comparisons).
+	Time float64
+	// ComputeSeconds is the per-rank time spent outside MPI (application
+	// compute plus in-application probe time) — what TAU reports as
+	// exclusive application time. Calibration divides counters by it.
+	ComputeSeconds []float64
+	// Engine exposes the kernel counters of the emulation.
+	Engine sim.Stats
+}
+
+// rateFor returns the effective compute rate of one rank.
+func (c *Cluster) rateFor(w npb.Workload, rank int) float64 {
+	rate := c.BaseRate
+	if w.WorkingSet(rank) > c.L2Bytes {
+		rate *= c.OutOfCacheFactor
+	}
+	if c.JitterAmp > 0 {
+		u := stats.NewRNG(c.Seed).Fork(uint64(rank)).Float64()
+		rate *= 1 - c.JitterAmp*u
+	}
+	return rate
+}
+
+// InstrConfig builds an acquisition configuration for this cluster,
+// installing its measured -O3 factor for the class.
+func (c *Cluster) InstrConfig(mode instrument.Mode, compile instrument.Compile, class npb.Class) instrument.Config {
+	cfg := instrument.Config{Mode: mode, Compile: compile, Class: class, Costs: c.ProbeCosts}
+	if s, ok := c.O3Scales[class]; ok {
+		cfg.O3ScaleOverride = s
+	}
+	return cfg
+}
+
+// CacheResident reports whether every rank of the workload fits in L2.
+func (c *Cluster) CacheResident(w npb.Workload) bool {
+	for r := 0; r < w.Ranks(); r++ {
+		if w.WorkingSet(r) > c.L2Bytes {
+			return false
+		}
+	}
+	return true
+}
+
+// Run emulates one execution of w built and instrumented as icfg describes,
+// and returns its wall-clock time. Use instrument.Counters for the counter
+// readings and instrument.Acquired for the trace the run would produce.
+func (c *Cluster) Run(w npb.Workload, icfg instrument.Config) (*RunResult, error) {
+	n := w.Ranks()
+	if n > c.Hosts {
+		return nil, fmt.Errorf("ground: %s has %d nodes, workload needs %d", c.Name, c.Hosts, n)
+	}
+	plat, model, err := c.Platform(n)
+	if err != nil {
+		return nil, err
+	}
+	var opts []sim.Option
+	if model != nil {
+		opts = append(opts, sim.WithNetworkModel(model))
+	}
+	engine := sim.NewEngine(plat, opts...)
+	world, err := mpi.NewWorld(engine, plat.Hosts()[:n], c.MPI)
+	if err != nil {
+		return nil, err
+	}
+	busy := make([]float64, n)
+	for rank := 0; rank < n; rank++ {
+		stream, err := w.Rank(rank)
+		if err != nil {
+			return nil, err
+		}
+		c.spawnRank(world, rank, c.rateFor(w, rank), stream, icfg, &busy[rank])
+	}
+	if err := engine.Run(); err != nil {
+		return nil, fmt.Errorf("ground: emulating %s on %s: %w", w.Name(), c.Name, err)
+	}
+	return &RunResult{Time: engine.Now(), ComputeSeconds: busy, Engine: engine.Stats()}, nil
+}
+
+// spawnRank drives one rank's operation stream on the emulated machine.
+func (c *Cluster) spawnRank(world *mpi.World, rank int, rate float64, stream npb.OpStream, icfg instrument.Config, busy *float64) {
+	world.Spawn(rank, func(r *mpi.Rank) {
+		var pending []*mpi.Request
+		for {
+			op, ok, err := stream.Next()
+			if err != nil {
+				panic(fmt.Errorf("rank %d: %w", rank, err))
+			}
+			if !ok {
+				return
+			}
+			a := op.Action
+			if a.Kind == trace.Compute {
+				base, _, probeTime := icfg.ComputeCost(op)
+				r.Proc().ExecuteAtRate(base, rate)
+				if probeTime > 0 {
+					r.Proc().Sleep(probeTime)
+				}
+				*busy += base/rate + probeTime
+				continue
+			}
+			if a.Kind != trace.Init && a.Kind != trace.Finalize {
+				if _, probeTime := icfg.MPICost(op); probeTime > 0 {
+					r.Proc().Sleep(probeTime)
+				}
+			}
+			switch a.Kind {
+			case trace.Init, trace.Finalize:
+			case trace.Send:
+				r.Send(a.Peer, a.Bytes)
+			case trace.ISend:
+				pending = append(pending, r.Isend(a.Peer, a.Bytes))
+			case trace.Recv:
+				r.Recv(a.Peer)
+			case trace.IRecv:
+				pending = append(pending, r.Irecv(a.Peer))
+			case trace.Wait:
+				if len(pending) == 0 {
+					panic(fmt.Errorf("rank %d: wait with no outstanding request", rank))
+				}
+				r.Wait(pending[0])
+				pending = pending[1:]
+			case trace.WaitAll:
+				r.WaitAll(pending)
+				pending = pending[:0]
+			case trace.Barrier:
+				r.Barrier()
+			case trace.Bcast:
+				r.Bcast(a.Bytes, a.Root)
+			case trace.Reduce:
+				r.Reduce(a.Bytes, a.Root)
+			case trace.AllReduce:
+				r.AllReduce(a.Bytes)
+			case trace.AllToAll:
+				r.AllToAll(a.Bytes)
+			case trace.Gather:
+				r.Gather(a.Bytes, a.Root)
+			case trace.AllGather:
+				r.AllGather(a.Bytes)
+			default:
+				panic(fmt.Errorf("rank %d: unsupported op %v", rank, a.Kind))
+			}
+		}
+	})
+}

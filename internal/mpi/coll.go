@@ -1,0 +1,174 @@
+package mpi
+
+import "fmt"
+
+// Collective operations simulated as sets of point-to-point messages
+// (Section 3.3: the SMPI rewrite replaces the MSG prototype's "monolithic
+// performance models of collective communications" with actual message
+// exchanges, following the algorithms of mainstream MPI implementations).
+
+// Barrier synchronizes all ranks: a binomial-tree gather of empty messages
+// to rank 0 followed by a binomial-tree release.
+func (r *Rank) Barrier() {
+	r.reduceTree(0, 1)
+	r.bcastTree(0, 1)
+}
+
+// Bcast broadcasts bytes from root using the configured algorithm
+// (binomial tree by default).
+func (r *Rank) Bcast(bytes float64, root int) {
+	r.BcastWith(r.world.cfg.Bcast, bytes, root)
+}
+
+// Reduce combines bytes from every rank onto root along a binomial tree.
+func (r *Rank) Reduce(bytes float64, root int) {
+	r.checkRoot(root, "Reduce")
+	r.reduceTree(root, bytes)
+}
+
+// AllReduce combines and redistributes bytes across all ranks using the
+// configured algorithm. The default, recursive doubling, runs log2 P
+// exchange rounds on power-of-two communicators and falls back to
+// Reduce+Bcast otherwise, as common MPI runtimes do for irregular sizes.
+func (r *Rank) AllReduce(bytes float64) {
+	r.AllReduceWith(r.world.cfg.AllReduce, bytes)
+}
+
+// allReduceRDB is the recursive-doubling implementation with the
+// reduce+bcast fallback for non-power-of-two communicators.
+func (r *Rank) allReduceRDB(bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if p&(p-1) == 0 {
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := r.rank ^ mask
+			r.sendRecvColl(partner, bytes, partner)
+		}
+		return
+	}
+	r.reduceTree(0, bytes)
+	r.bcastTree(0, bytes)
+}
+
+// AllToAll exchanges bytes with every other rank using the pairwise-exchange
+// algorithm: P-1 rounds, in round i exchanging with rank^i patterns (for
+// power-of-two) or a shifted schedule otherwise.
+func (r *Rank) AllToAll(bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	for i := 1; i < p; i++ {
+		dst := (r.rank + i) % p
+		src := (r.rank - i + p) % p
+		r.sendRecvColl(dst, bytes, src)
+	}
+}
+
+// Gather collects bytes from every rank to root (linear algorithm: each
+// non-root sends once, the root receives P-1 messages).
+func (r *Rank) Gather(bytes float64, root int) {
+	r.checkRoot(root, "Gather")
+	if r.Size() == 1 {
+		return
+	}
+	if r.rank == root {
+		for src := 0; src < r.Size(); src++ {
+			if src != root {
+				r.recvColl(src)
+			}
+		}
+		return
+	}
+	r.sendColl(root, bytes)
+}
+
+// AllGather uses the ring algorithm: P-1 steps, each rank forwarding bytes
+// to its successor while receiving from its predecessor.
+func (r *Rank) AllGather(bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	next := (r.rank + 1) % p
+	prev := (r.rank - 1 + p) % p
+	for i := 0; i < p-1; i++ {
+		r.sendRecvColl(next, bytes, prev)
+	}
+}
+
+// bcastTree implements the binomial broadcast: the root's subtree unfolds in
+// log2 P rounds. vrank is the rank relative to the root.
+func (r *Rank) bcastTree(root int, bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (r.rank - root + p) % p
+	// Receive from parent (unless root).
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := ((vrank - mask) + root) % p
+		r.recvColl(parent)
+	}
+	// Forward to children.
+	mask := 1
+	for mask <= vrank {
+		mask <<= 1
+	}
+	for ; mask < p; mask <<= 1 {
+		child := vrank + mask
+		if child >= p {
+			break
+		}
+		r.sendColl((child+root)%p, bytes)
+	}
+}
+
+// reduceTree is the mirror image of bcastTree: leaves send first, inner
+// nodes receive from their subtree then forward to their parent.
+func (r *Rank) reduceTree(root int, bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (r.rank - root + p) % p
+	// Receive from children, in reverse order of the bcast sends.
+	var children []int
+	mask := 1
+	for mask <= vrank {
+		mask <<= 1
+	}
+	for ; mask < p; mask <<= 1 {
+		child := vrank + mask
+		if child >= p {
+			break
+		}
+		children = append(children, (child+root)%p)
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		r.recvColl(children[i])
+	}
+	if vrank != 0 {
+		m := 1
+		for m <= vrank {
+			m <<= 1
+		}
+		m >>= 1
+		parent := ((vrank - m) + root) % p
+		r.sendColl(parent, bytes)
+	}
+}
+
+func (r *Rank) checkRoot(root int, op string) {
+	if root < 0 || root >= r.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: %s root %d outside communicator of size %d",
+			r.rank, op, root, r.Size()))
+	}
+}

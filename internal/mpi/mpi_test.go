@@ -1,0 +1,501 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/sim"
+)
+
+// testWorld builds an n-rank world on a flat cluster with simple numbers:
+// 1 GB/s links, 10 GB/s backbone, 10 us link latency.
+func testWorld(t *testing.T, n int, cfg ModelConfig) (*World, *sim.Engine) {
+	t.Helper()
+	p, err := platform.NewFlatCluster(platform.FlatConfig{
+		Name: "t", Hosts: n, Speed: 1e9,
+		LinkBandwidth: 1e9, LinkLatency: 1e-5,
+		BackboneBandwidth: 1e10, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine(p)
+	w, err := NewWorld(e, p.Hosts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, e
+}
+
+const routeLat = 2.1e-5 // 2 links at 1e-5 + backbone 1e-6
+
+func approx(t *testing.T, got, want, tolFrac float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tolFrac*math.Abs(want)+1e-12 {
+		t.Fatalf("%s = %v, want %v (±%v%%)", what, got, want, 100*tolFrac)
+	}
+}
+
+func TestEagerSendReturnsImmediately(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{})
+	var sendEnd, recvEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 1024)
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Recv(0)
+		recvEnd = r.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd != 0 {
+		t.Fatalf("eager send took %v, want 0 (no memcpy modelled)", sendEnd)
+	}
+	// Transfer: latency + 1024/1e9.
+	approx(t, recvEnd, routeLat+1024/1e9, 1e-9, "recv end")
+}
+
+func TestEagerSendChargesMemcpyWhenModelled(t *testing.T) {
+	cfg := ModelConfig{MemcpyBandwidth: 2e9, MemcpyLatency: 1e-6}
+	w, e := testWorld(t, 2, cfg)
+	var sendEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 2048)
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) { r.Recv(0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sendEnd, 1e-6+2048/2e9, 1e-9, "eager sender memcpy cost")
+}
+
+func TestRendezvousSendBlocks(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{})
+	var sendEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 1<<20) // 1 MiB >= threshold
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(0.5)
+		r.Recv(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender blocks until receiver posts at 0.5, then transfer.
+	want := 0.5 + routeLat + float64(1<<20)/1e9
+	approx(t, sendEnd, want, 1e-9, "rendezvous send end")
+}
+
+func TestEagerThresholdBoundary(t *testing.T) {
+	// Exactly 65536 bytes must use rendezvous ("size < 65536" is eager).
+	w, e := testWorld(t, 2, ModelConfig{})
+	var sendEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 65536)
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(1)
+		r.Recv(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd < 1 {
+		t.Fatalf("64 KiB send returned at %v: eager, want rendezvous", sendEnd)
+	}
+}
+
+func TestCustomEagerThreshold(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{EagerThreshold: 100})
+	var sendEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 200) // above custom threshold -> rendezvous
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(0.25)
+		r.Recv(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd < 0.25 {
+		t.Fatalf("send returned at %v, want rendezvous wait", sendEnd)
+	}
+}
+
+func TestEagerOverlapWithReceiverCompute(t *testing.T) {
+	// The receiver computes while the eager message is in flight: the recv
+	// posted after arrival returns instantly. This is the behaviour the MSG
+	// prototype could not express.
+	w, e := testWorld(t, 2, ModelConfig{})
+	var recvWait float64
+	w.Spawn(0, func(r *Rank) { r.Send(1, 4096) })
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(0.1) // much longer than the transfer
+		before := r.Now()
+		r.Recv(0)
+		recvWait = r.Now() - before
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvWait > 1e-9 {
+		t.Fatalf("recv waited %v, want ~0 (data already buffered)", recvWait)
+	}
+}
+
+func TestIsendWaitAndTest(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{})
+	var eagerDone, largeDoneBefore, largeDoneAfter bool
+	w.Spawn(0, func(r *Rank) {
+		qe := r.Isend(1, 8)
+		eagerDone = r.Test(qe)
+		ql := r.Isend(1, 1<<20)
+		largeDoneBefore = r.Test(ql)
+		r.Wait(ql)
+		largeDoneAfter = r.Test(ql)
+		r.Wait(nil) // must not panic
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Recv(0)
+		r.Recv(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eagerDone {
+		t.Error("eager isend not immediately complete")
+	}
+	if largeDoneBefore {
+		t.Error("large isend complete before wait")
+	}
+	if !largeDoneAfter {
+		t.Error("large isend incomplete after wait")
+	}
+}
+
+func TestIrecvWaitAll(t *testing.T) {
+	w, e := testWorld(t, 3, ModelConfig{})
+	var end float64
+	w.Spawn(0, func(r *Rank) {
+		qs := []*Request{r.Irecv(1), r.Irecv(2)}
+		r.WaitAll(qs)
+		end = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) { r.Send(0, 1000) })
+	w.Spawn(2, func(r *Rank) {
+		r.Proc().Sleep(0.3)
+		r.Send(0, 1000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end < 0.3 {
+		t.Fatalf("waitall returned at %v, want >= 0.3", end)
+	}
+}
+
+func TestSendRecvNoDeadlock(t *testing.T) {
+	// Symmetric large-message exchange would deadlock with blocking sends;
+	// SendRecv must complete.
+	w, e := testWorld(t, 2, ModelConfig{})
+	w.Spawn(0, func(r *Rank) { r.SendRecv(1, 1<<20, 1) })
+	w.Spawn(1, func(r *Rank) { r.SendRecv(0, 1<<20, 0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOverheads(t *testing.T) {
+	cfg := ModelConfig{SendOverhead: 1e-3, RecvOverhead: 2e-3}
+	w, e := testWorld(t, 2, ModelConfig(cfg))
+	var sendEnd, recvEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 8)
+		sendEnd = r.Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Recv(0)
+		recvEnd = r.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sendEnd, 1e-3, 1e-9, "send overhead")
+	if recvEnd < 1e-3+2e-3 {
+		t.Fatalf("recv end = %v, want >= send overhead + recv overhead", recvEnd)
+	}
+}
+
+func collectiveWorld(t *testing.T, n int) (*World, *sim.Engine, []float64) {
+	w, e := testWorld(t, n, ModelConfig{})
+	ends := make([]float64, n)
+	return w, e, ends
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 5 // non power of two on purpose
+	w, e, ends := collectiveWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.Proc().Sleep(float64(i) * 0.1) // staggered arrivals
+			r.Barrier()
+			ends[i] = r.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody leaves before the last arrival at 0.4.
+	for i, end := range ends {
+		if end < 0.4 {
+			t.Fatalf("rank %d left barrier at %v, before last arrival", i, end)
+		}
+		if end > 0.41 {
+			t.Fatalf("rank %d left barrier at %v, too slow", i, end)
+		}
+	}
+}
+
+func TestBcastDelivers(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 8} {
+		w, e, ends := collectiveWorld(t, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, func(r *Rank) {
+				r.Bcast(1024, 0)
+				ends[i] = r.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 1; i < n; i++ {
+			if ends[i] <= 0 {
+				t.Fatalf("n=%d: rank %d finished bcast at %v, want > 0", n, i, ends[i])
+			}
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	const n = 6
+	w, e, ends := collectiveWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.Bcast(512, 3)
+			ends[i] = r.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Eager sends are free for the root (no memcpy modelled), so only check
+	// that every non-root rank actually received through the tree.
+	for i := 0; i < n; i++ {
+		if i != 3 && ends[i] <= 0 {
+			t.Fatalf("rank %d finished bcast at %v, want > 0", i, ends[i])
+		}
+	}
+}
+
+func TestReduceCompletes(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		w, e, ends := collectiveWorld(t, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, func(r *Rank) {
+				r.Reduce(2048, 0)
+				ends[i] = r.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ends[0] <= 0 {
+			t.Fatalf("n=%d: root finished at %v", n, ends[0])
+		}
+	}
+}
+
+func TestAllReducePowerOfTwoAndOdd(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 3, 6} {
+		w, e, ends := collectiveWorld(t, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, func(r *Rank) {
+				r.AllReduce(40)
+				ends[i] = r.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if ends[i] <= 0 {
+				t.Fatalf("n=%d: rank %d never finished allreduce", n, i)
+			}
+		}
+	}
+}
+
+func TestAllReduceSingleRankIsFree(t *testing.T) {
+	w, e, ends := collectiveWorld(t, 1)
+	w.Spawn(0, func(r *Rank) {
+		r.AllReduce(40)
+		r.Barrier()
+		r.AllToAll(8)
+		r.AllGather(8)
+		r.Gather(8, 0)
+		ends[0] = r.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != 0 {
+		t.Fatalf("single-rank collectives took %v, want 0", ends[0])
+	}
+}
+
+func TestAllToAllCompletes(t *testing.T) {
+	const n = 4
+	w, e, ends := collectiveWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.AllToAll(4096)
+			ends[i] = r.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		if end <= 0 {
+			t.Fatalf("rank %d alltoall end = %v", i, end)
+		}
+	}
+}
+
+func TestGatherAndAllGather(t *testing.T) {
+	const n = 5
+	w, e, ends := collectiveWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.Gather(128, 2)
+			r.AllGather(128)
+			ends[i] = r.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		if end <= 0 {
+			t.Fatalf("rank %d end = %v", i, end)
+		}
+	}
+}
+
+func TestBackToBackCollectivesKeepOrder(t *testing.T) {
+	// Successive collectives on the same pair mailboxes must not cross-match.
+	const n = 4
+	w, e, _ := collectiveWorld(t, n)
+	times := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			for k := 0; k < 10; k++ {
+				r.AllReduce(40)
+				times[i] = append(times[i], r.Now())
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for k := 1; k < 10; k++ {
+			if times[i][k] < times[i][k-1] {
+				t.Fatalf("rank %d: allreduce %d ended before %d", i, k, k-1)
+			}
+		}
+	}
+}
+
+func TestLargeMessageCollective(t *testing.T) {
+	// Collectives with rendezvous-sized payloads must not deadlock.
+	const n = 4
+	w, e, ends := collectiveWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.AllReduce(1 << 20)
+			r.Bcast(1<<20, 0)
+			r.Reduce(1<<20, 0)
+			ends[i] = r.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		if end <= 0 {
+			t.Fatalf("rank %d end = %v", i, end)
+		}
+	}
+}
+
+func TestComputeUsesHostSpeed(t *testing.T) {
+	w, e := testWorld(t, 1, ModelConfig{})
+	var end float64
+	w.Spawn(0, func(r *Rank) {
+		r.Compute(2e9)
+		end = r.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 2.0, 1e-9, "compute at 1e9 instr/s")
+}
+
+func TestWorldValidation(t *testing.T) {
+	p, _ := platform.NewFlatCluster(platform.FlatConfig{
+		Name: "t", Hosts: 2, Speed: 1e9,
+		LinkBandwidth: 1e9, BackboneBandwidth: 1e10,
+	})
+	e := sim.NewEngine(p)
+	if _, err := NewWorld(e, nil, ModelConfig{}); err == nil {
+		t.Error("expected error for empty hosts")
+	}
+	if _, err := NewWorld(e, []*sim.Host{nil}, ModelConfig{}); err == nil {
+		t.Error("expected error for nil host")
+	}
+}
+
+func TestPeerValidationFaults(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{})
+	w.Spawn(0, func(r *Rank) { r.Send(5, 10) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error for out-of-range peer")
+	}
+}
+
+func TestSelfSendFaults(t *testing.T) {
+	w, e := testWorld(t, 2, ModelConfig{})
+	w.Spawn(0, func(r *Rank) { r.Send(0, 10) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error for self send")
+	}
+}

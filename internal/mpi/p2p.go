@@ -1,0 +1,150 @@
+package mpi
+
+import "fmt"
+
+// Send sends bytes to rank dst with MPI_Send semantics under the configured
+// model: below the eager threshold the call returns after the local costs
+// only (the transfer is detached and proceeds on its own); at or above it,
+// the call blocks until the transfer completes (rendezvous).
+func (r *Rank) Send(dst int, bytes float64) {
+	r.checkPeer(dst, "Send")
+	cfg := r.world.cfg
+	if cfg.SendOverhead > 0 {
+		r.proc.Sleep(cfg.SendOverhead)
+	}
+	if bytes < cfg.eagerThreshold() {
+		r.eagerCopy(bytes)
+		r.proc.PutDetached(p2pMailbox(r.rank, dst), bytes, nil)
+		return
+	}
+	r.proc.Put(p2pMailbox(r.rank, dst), bytes)
+}
+
+// Isend is the nonblocking send. Eager messages complete immediately (the
+// returned request is already done); rendezvous messages complete when the
+// transfer does.
+func (r *Rank) Isend(dst int, bytes float64) *Request {
+	r.checkPeer(dst, "Isend")
+	cfg := r.world.cfg
+	if cfg.SendOverhead > 0 {
+		r.proc.Sleep(cfg.SendOverhead)
+	}
+	if bytes < cfg.eagerThreshold() {
+		r.eagerCopy(bytes)
+		r.proc.PutDetached(p2pMailbox(r.rank, dst), bytes, nil)
+		return &Request{}
+	}
+	return &Request{comm: r.proc.PutAsync(p2pMailbox(r.rank, dst), bytes)}
+}
+
+// Recv blocks until a message from src has fully arrived.
+func (r *Rank) Recv(src int) {
+	r.checkPeer(src, "Recv")
+	cfg := r.world.cfg
+	r.proc.Get(p2pMailbox(src, r.rank))
+	if cfg.RecvOverhead > 0 {
+		r.proc.Sleep(cfg.RecvOverhead)
+	}
+}
+
+// Irecv posts a nonblocking receive from src.
+func (r *Rank) Irecv(src int) *Request {
+	r.checkPeer(src, "Irecv")
+	return &Request{comm: r.proc.GetAsync(p2pMailbox(src, r.rank))}
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(q *Request) {
+	if q == nil {
+		return // tolerate nil for replayed waits with no outstanding request
+	}
+	if q.comm != nil {
+		r.proc.WaitComm(q.comm)
+	}
+}
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(qs []*Request) {
+	for _, q := range qs {
+		r.Wait(q)
+	}
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *Rank) Test(q *Request) bool {
+	return q == nil || q.Done()
+}
+
+// SendRecv exchanges messages with two peers (possibly the same) without
+// deadlocking, as MPI_Sendrecv does. It is the building block of the
+// recursive-doubling and pairwise-exchange collectives.
+func (r *Rank) SendRecv(dst int, sendBytes float64, src int) {
+	req := r.Isend(dst, sendBytes)
+	r.Recv(src)
+	r.Wait(req)
+}
+
+// eagerCopy charges the sender-side memory copy of an eager send when the
+// model includes it.
+func (r *Rank) eagerCopy(bytes float64) {
+	cfg := r.world.cfg
+	if cfg.MemcpyBandwidth > 0 {
+		r.proc.Sleep(cfg.MemcpyLatency + bytes/cfg.MemcpyBandwidth)
+	}
+}
+
+func (r *Rank) checkPeer(peer int, op string) {
+	if peer < 0 || peer >= r.world.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: %s peer %d outside communicator of size %d",
+			r.rank, op, peer, r.world.Size()))
+	}
+	if peer == r.rank {
+		panic(fmt.Sprintf("mpi: rank %d: %s to self is not supported by the replay model", r.rank, op))
+	}
+}
+
+// sendColl/recvColl are the internal p2p operations used by collectives;
+// they use the dedicated collective mailbox namespace so tree messages never
+// interleave with application messages, and follow the same eager/rendezvous
+// protocol rules.
+func (r *Rank) sendColl(dst int, bytes float64) {
+	cfg := r.world.cfg
+	if cfg.SendOverhead > 0 {
+		r.proc.Sleep(cfg.SendOverhead)
+	}
+	if bytes < cfg.eagerThreshold() {
+		r.eagerCopy(bytes)
+		r.proc.PutDetached(collMailbox(r.rank, dst), bytes, nil)
+		return
+	}
+	r.proc.Put(collMailbox(r.rank, dst), bytes)
+}
+
+func (r *Rank) isendColl(dst int, bytes float64) *Request {
+	cfg := r.world.cfg
+	if cfg.SendOverhead > 0 {
+		r.proc.Sleep(cfg.SendOverhead)
+	}
+	if bytes < cfg.eagerThreshold() {
+		r.eagerCopy(bytes)
+		r.proc.PutDetached(collMailbox(r.rank, dst), bytes, nil)
+		return &Request{}
+	}
+	return &Request{comm: r.proc.PutAsync(collMailbox(r.rank, dst), bytes)}
+}
+
+func (r *Rank) recvColl(src int) {
+	cfg := r.world.cfg
+	r.proc.Get(collMailbox(src, r.rank))
+	if cfg.RecvOverhead > 0 {
+		r.proc.Sleep(cfg.RecvOverhead)
+	}
+}
+
+func (r *Rank) sendRecvColl(dst int, bytes float64, src int) {
+	req := r.isendColl(dst, bytes)
+	r.recvColl(src)
+	if req.comm != nil {
+		r.proc.WaitComm(req.comm)
+	}
+}

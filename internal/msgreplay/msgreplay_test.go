@@ -1,0 +1,189 @@
+package msgreplay
+
+import (
+	"math"
+	"testing"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/sim"
+)
+
+func testWorld(t *testing.T, n int, cfg Config) (*World, *sim.Engine) {
+	t.Helper()
+	p, err := platform.NewFlatCluster(platform.FlatConfig{
+		Name: "m", Hosts: n, Speed: 1e9,
+		LinkBandwidth: 1e9, LinkLatency: 1e-5,
+		BackboneBandwidth: 1e10, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine(p)
+	w, err := NewWorld(e, p.Hosts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, e
+}
+
+func TestSmallSendIsAsyncButNotDetached(t *testing.T) {
+	// The sender returns immediately, but the transfer only starts when the
+	// receiver posts: a late receiver pays full latency + transfer.
+	w, e := testWorld(t, 2, Config{})
+	var sendEnd, recvWait float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 2048) // small
+		sendEnd = r.Proc().Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(1)
+		before := r.Proc().Now()
+		r.Recv(0)
+		recvWait = r.Proc().Now() - before
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd != 0 {
+		t.Fatalf("async send end = %v, want 0", sendEnd)
+	}
+	wantWait := 2.1e-5 + 2048/1e9
+	if math.Abs(recvWait-wantWait) > 1e-9 {
+		t.Fatalf("recv wait = %v, want %v (transfer starts at match)", recvWait, wantWait)
+	}
+}
+
+func TestLargeSendBlocks(t *testing.T) {
+	w, e := testWorld(t, 2, Config{})
+	var sendEnd float64
+	w.Spawn(0, func(r *Rank) {
+		r.Send(1, 1<<20)
+		sendEnd = r.Proc().Now()
+	})
+	w.Spawn(1, func(r *Rank) {
+		r.Proc().Sleep(0.5)
+		r.Recv(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd < 0.5 {
+		t.Fatalf("large send returned at %v, want blocking", sendEnd)
+	}
+}
+
+func TestIsendWaitBalanced(t *testing.T) {
+	w, e := testWorld(t, 2, Config{})
+	w.Spawn(0, func(r *Rank) {
+		c := r.Isend(1, 100)
+		r.Wait(c)
+	})
+	w.Spawn(1, func(r *Rank) { r.Recv(0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvWait(t *testing.T) {
+	w, e := testWorld(t, 2, Config{})
+	var end float64
+	w.Spawn(0, func(r *Rank) {
+		c := r.Irecv(1)
+		r.Compute(1e9) // overlap
+		r.Wait(c)
+		end = r.Proc().Now()
+	})
+	w.Spawn(1, func(r *Rank) { r.Send(0, 500) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1.0) > 1e-3 {
+		t.Fatalf("end = %v, want ~1.0 (compute dominates)", end)
+	}
+}
+
+func TestMonolithicCollectiveSynchronizesAll(t *testing.T) {
+	const n = 4
+	w, e := testWorld(t, n, Config{RefLatency: 1e-3, RefBandwidth: 1e9})
+	ends := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, func(r *Rank) {
+			r.Proc().Sleep(float64(i) * 0.1)
+			r.Bcast(1024, 0)
+			ends[i] = r.Proc().Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Monolithic model: everyone leaves at lastArrival + log2(4)*(lat+size/bw).
+	want := 0.3 + 2*(1e-3+1024/1e9)
+	for i, end := range ends {
+		if math.Abs(end-want) > 1e-9 {
+			t.Fatalf("rank %d bcast end = %v, want %v", i, end, want)
+		}
+	}
+}
+
+func TestCollectiveFormulas(t *testing.T) {
+	const n = 8
+	cfg := Config{RefLatency: 1e-3, RefBandwidth: 1e8}
+	cases := []struct {
+		name string
+		call func(r *Rank)
+		want float64
+	}{
+		{"barrier", func(r *Rank) { r.Barrier() }, 3 * 1e-3},
+		{"bcast", func(r *Rank) { r.Bcast(1e6, 0) }, 3 * (1e-3 + 1e6/1e8)},
+		{"reduce", func(r *Rank) { r.Reduce(1e6, 0) }, 3 * (1e-3 + 1e6/1e8)},
+		{"allreduce", func(r *Rank) { r.AllReduce(1e6) }, 6 * (1e-3 + 1e6/1e8)},
+		{"alltoall", func(r *Rank) { r.AllToAll(1e6) }, 7 * (1e-3 + 1e6/1e8)},
+		{"gather", func(r *Rank) { r.Gather(1e6, 0) }, 7 * (1e-3 + 1e6/1e8)},
+		{"allgather", func(r *Rank) { r.AllGather(1e6) }, 7 * (1e-3 + 1e6/1e8)},
+	}
+	for _, tc := range cases {
+		w, e := testWorld(t, n, cfg)
+		ends := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, func(r *Rank) {
+				tc.call(r)
+				ends[i] = r.Proc().Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i, end := range ends {
+			if math.Abs(end-tc.want) > 1e-9 {
+				t.Fatalf("%s: rank %d end = %v, want %v", tc.name, i, end, tc.want)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, _ := platform.NewFlatCluster(platform.FlatConfig{
+		Name: "m", Hosts: 1, Speed: 1e9,
+		LinkBandwidth: 1e9, BackboneBandwidth: 1e10,
+	})
+	e := sim.NewEngine(p)
+	if _, err := NewWorld(e, nil, Config{}); err == nil {
+		t.Error("expected error for empty hosts")
+	}
+	if _, err := NewWorld(e, p.Hosts(), Config{RefLatency: -1}); err == nil {
+		t.Error("expected error for negative latency")
+	}
+}
+
+func TestDefaultEagerThreshold(t *testing.T) {
+	var c Config
+	if c.eagerThreshold() != 65536 {
+		t.Fatalf("default threshold = %v", c.eagerThreshold())
+	}
+	c.EagerThreshold = 1000
+	if c.eagerThreshold() != 1000 {
+		t.Fatalf("custom threshold = %v", c.eagerThreshold())
+	}
+}

@@ -1,0 +1,284 @@
+package platform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tireplay/internal/sim"
+)
+
+func flat(t *testing.T, n int) *Platform {
+	t.Helper()
+	p, err := NewFlatCluster(FlatConfig{
+		Name: "test", Hosts: n, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-5,
+		BackboneBandwidth: 1.25e10, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlatClusterShape(t *testing.T) {
+	p := flat(t, 4)
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+	// 1 backbone + 4 private links.
+	if len(p.Links()) != 5 {
+		t.Fatalf("links = %d, want 5", len(p.Links()))
+	}
+	r := p.Route(p.Host(0), p.Host(3))
+	if len(r.Links) != 3 {
+		t.Fatalf("route links = %d, want 3 (up, backbone, down)", len(r.Links))
+	}
+	wantLat := 1e-5 + 1e-6 + 1e-5
+	if math.Abs(r.Latency-wantLat) > 1e-15 {
+		t.Fatalf("route latency = %v, want %v", r.Latency, wantLat)
+	}
+}
+
+func TestFlatClusterLoopback(t *testing.T) {
+	p := flat(t, 2)
+	p.LoopbackLatency = 1e-7
+	r := p.Route(p.Host(1), p.Host(1))
+	if len(r.Links) != 0 || r.Latency != 1e-7 {
+		t.Fatalf("loopback route = %+v", r)
+	}
+}
+
+func TestFlatClusterRejectsBadConfig(t *testing.T) {
+	if _, err := NewFlatCluster(FlatConfig{Hosts: 0}); err == nil {
+		t.Error("expected error for zero hosts")
+	}
+	if _, err := NewFlatCluster(FlatConfig{Hosts: 2, LinkBandwidth: 0, BackboneBandwidth: 1}); err == nil {
+		t.Error("expected error for zero link bandwidth")
+	}
+}
+
+func TestHostByName(t *testing.T) {
+	p := flat(t, 3)
+	h, ok := p.HostByName("test-2")
+	if !ok || h != p.Host(2) {
+		t.Fatalf("HostByName = %v,%v", h, ok)
+	}
+	if _, ok := p.HostByName("nope"); ok {
+		t.Fatal("found nonexistent host")
+	}
+}
+
+func TestSetSpeed(t *testing.T) {
+	p := flat(t, 3)
+	p.SetSpeed(42)
+	for _, h := range p.Hosts() {
+		if h.Speed != 42 {
+			t.Fatalf("host %s speed = %v", h.Name, h.Speed)
+		}
+	}
+}
+
+func hier(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewHierarchicalCluster(HierConfig{
+		Name: "g", Cabinets: 4, HostsPerCabinet: 36, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-5,
+		CabinetBandwidth: 1.25e10, CabinetLatency: 2e-6,
+		BackboneBandwidth: 2.5e10, BackboneLatency: 3e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHierarchicalClusterShape(t *testing.T) {
+	p := hier(t)
+	if p.Size() != 144 {
+		t.Fatalf("size = %d, want 144", p.Size())
+	}
+	// Intra-cabinet: hosts 0 and 1 are both in cabinet 0.
+	r := p.Route(p.Host(0), p.Host(1))
+	if len(r.Links) != 3 {
+		t.Fatalf("intra-cabinet route links = %d, want 3", len(r.Links))
+	}
+	// Inter-cabinet: hosts 0 (cab 0) and 40 (cab 1).
+	r = p.Route(p.Host(0), p.Host(40))
+	if len(r.Links) != 5 {
+		t.Fatalf("inter-cabinet route links = %d, want 5", len(r.Links))
+	}
+	wantLat := 1e-5 + 2e-6 + 3e-6 + 2e-6 + 1e-5
+	if math.Abs(r.Latency-wantLat) > 1e-15 {
+		t.Fatalf("inter-cabinet latency = %v, want %v", r.Latency, wantLat)
+	}
+}
+
+func TestHierarchicalRejectsBadConfig(t *testing.T) {
+	if _, err := NewHierarchicalCluster(HierConfig{Cabinets: 0, HostsPerCabinet: 1}); err == nil {
+		t.Error("expected error for zero cabinets")
+	}
+}
+
+func TestRouteSymmetryProperty(t *testing.T) {
+	p := hier(t)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%p.Size(), int(b)%p.Size()
+		ri := p.Route(p.Host(i), p.Host(j))
+		rj := p.Route(p.Host(j), p.Host(i))
+		// Latency symmetric and same link count.
+		return ri.Latency == rj.Latency && len(ri.Links) == len(rj.Links)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiecewiseModelSelection(t *testing.T) {
+	m, err := NewPiecewiseModel([]Segment{
+		{MaxBytes: 1024, LatFactor: 2, BwFactor: 0.5},
+		{MaxBytes: 65536, LatFactor: 1.5, BwFactor: 0.9},
+		{MaxBytes: math.MaxFloat64, LatFactor: 1, BwFactor: 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := sim.Route{
+		Links:   []*sim.Link{{Bandwidth: 100}, {Bandwidth: 50}},
+		Latency: 1e-3,
+	}
+	lat, cap := m.Effective(route, 100)
+	if lat != 2e-3 || cap != 25 {
+		t.Fatalf("small msg: lat=%v cap=%v, want 2e-3, 25", lat, cap)
+	}
+	lat, cap = m.Effective(route, 65536)
+	if lat != 1.5e-3 || cap != 45 {
+		t.Fatalf("medium msg: lat=%v cap=%v, want 1.5e-3, 45", lat, cap)
+	}
+	lat, cap = m.Effective(route, 1e9)
+	if lat != 1e-3 || cap != 48.5 {
+		t.Fatalf("large msg: lat=%v cap=%v, want 1e-3, 48.5", lat, cap)
+	}
+}
+
+func TestPiecewiseModelSortsSegments(t *testing.T) {
+	m, err := NewPiecewiseModel([]Segment{
+		{MaxBytes: math.MaxFloat64, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: 10, LatFactor: 3, BwFactor: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.factors(5)
+	if s.LatFactor != 3 {
+		t.Fatalf("factors(5) = %+v, want the small segment", s)
+	}
+}
+
+func TestPiecewiseModelValidation(t *testing.T) {
+	if _, err := NewPiecewiseModel(nil); err == nil {
+		t.Error("expected error for empty segments")
+	}
+	if _, err := NewPiecewiseModel([]Segment{{MaxBytes: 1, LatFactor: 0, BwFactor: 1}}); err == nil {
+		t.Error("expected error for zero factor")
+	}
+}
+
+// Property: factor lookup is piecewise-constant and never panics across a
+// wide size range, and latency scaling is monotone in route latency.
+func TestPiecewiseFactorsTotalProperty(t *testing.T) {
+	m, err := NewPiecewiseModel([]Segment{
+		{MaxBytes: 64, LatFactor: 3, BwFactor: 0.3},
+		{MaxBytes: 65536, LatFactor: 1.8, BwFactor: 0.8},
+		{MaxBytes: math.MaxFloat64, LatFactor: 1, BwFactor: 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sz uint32) bool {
+		s := m.factors(float64(sz))
+		return s.LatFactor >= 1 && s.LatFactor <= 3 && s.BwFactor > 0 && s.BwFactor <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := &Spec{
+		Name: "bb", Topology: "flat", Hosts: 8, Speed: 2e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-5,
+		BackboneBandwidth: 1.25e10, BackboneLatency: 1e-6,
+		Factors: []SegmentSpec{{MaxBytes: 65536, LatFactor: 1.5, BwFactor: 0.9}, {MaxBytes: 0, LatFactor: 1, BwFactor: 0.97}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "bb" || got.Hosts != 8 || len(got.Factors) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	p, model, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 8 || model == nil {
+		t.Fatalf("build: size=%d model=%v", p.Size(), model)
+	}
+}
+
+func TestSpecBuildHierarchical(t *testing.T) {
+	spec := &Spec{
+		Name: "g", Topology: "hierarchical", Cabinets: 2, HostsPerCabinet: 3,
+		Speed: 1e9, LinkBandwidth: 1e9, LinkLatency: 1e-5,
+		CabinetBandwidth: 1e10, CabinetLatency: 1e-6,
+		BackboneBandwidth: 1e10, BackboneLatency: 1e-6,
+	}
+	p, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 6 {
+		t.Fatalf("size = %d, want 6", p.Size())
+	}
+}
+
+func TestSpecUnknownTopology(t *testing.T) {
+	spec := &Spec{Topology: "torus"}
+	if _, _, err := spec.Build(); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ReadSpec(strings.NewReader(`{"name":"x","bogus":1}`))
+	if err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+// End-to-end: platform used as router in the engine gives expected times.
+func TestPlatformInEngine(t *testing.T) {
+	p := flat(t, 2)
+	e := sim.NewEngine(p)
+	var end float64
+	e.Spawn("s", p.Host(0), func(pr *sim.Proc) { pr.Put("mb", 1.25e6) })
+	e.Spawn("r", p.Host(1), func(pr *sim.Proc) {
+		pr.Get("mb")
+		end = pr.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// latency 2.1e-5 + 1.25e6/1.25e9 = 2.1e-5 + 1e-3
+	want := 2.1e-5 + 1e-3
+	if math.Abs(end-want) > 1e-12 {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}

@@ -1,0 +1,126 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Spec is a serializable platform description, the equivalent of the
+// platform.xml file passed to smpirun in the paper. It is deliberately
+// simple: one of the two supported topologies plus optional piece-wise
+// network factors.
+type Spec struct {
+	Name     string `json:"name"`
+	Topology string `json:"topology"` // "flat" or "hierarchical"
+
+	Hosts           int `json:"hosts,omitempty"`
+	Cabinets        int `json:"cabinets,omitempty"`
+	HostsPerCabinet int `json:"hosts_per_cabinet,omitempty"`
+
+	Speed float64 `json:"speed"` // instructions per second
+
+	LinkBandwidth     float64 `json:"link_bandwidth"`
+	LinkLatency       float64 `json:"link_latency"`
+	CabinetBandwidth  float64 `json:"cabinet_bandwidth,omitempty"`
+	CabinetLatency    float64 `json:"cabinet_latency,omitempty"`
+	BackboneBandwidth float64 `json:"backbone_bandwidth"`
+	BackboneLatency   float64 `json:"backbone_latency"`
+	LoopbackLatency   float64 `json:"loopback_latency,omitempty"`
+
+	// Factors holds the optional piece-wise-linear segments; MaxBytes<=0 in
+	// the last entry means "unbounded".
+	Factors []SegmentSpec `json:"factors,omitempty"`
+}
+
+// SegmentSpec is the serializable form of a Segment.
+type SegmentSpec struct {
+	MaxBytes  float64 `json:"max_bytes"`
+	LatFactor float64 `json:"lat_factor"`
+	BwFactor  float64 `json:"bw_factor"`
+}
+
+// Build materializes the spec into a Platform and, when factors are present,
+// a PiecewiseModel (nil otherwise).
+func (s *Spec) Build() (*Platform, *PiecewiseModel, error) {
+	var p *Platform
+	var err error
+	switch s.Topology {
+	case "flat", "":
+		p, err = NewFlatCluster(FlatConfig{
+			Name:              s.Name,
+			Hosts:             s.Hosts,
+			Speed:             s.Speed,
+			LinkBandwidth:     s.LinkBandwidth,
+			LinkLatency:       s.LinkLatency,
+			BackboneBandwidth: s.BackboneBandwidth,
+			BackboneLatency:   s.BackboneLatency,
+			LoopbackLatency:   s.LoopbackLatency,
+		})
+	case "hierarchical":
+		p, err = NewHierarchicalCluster(HierConfig{
+			Name:              s.Name,
+			Cabinets:          s.Cabinets,
+			HostsPerCabinet:   s.HostsPerCabinet,
+			Speed:             s.Speed,
+			LinkBandwidth:     s.LinkBandwidth,
+			LinkLatency:       s.LinkLatency,
+			CabinetBandwidth:  s.CabinetBandwidth,
+			CabinetLatency:    s.CabinetLatency,
+			BackboneBandwidth: s.BackboneBandwidth,
+			BackboneLatency:   s.BackboneLatency,
+			LoopbackLatency:   s.LoopbackLatency,
+		})
+	default:
+		return nil, nil, fmt.Errorf("platform: unknown topology %q", s.Topology)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var model *PiecewiseModel
+	if len(s.Factors) > 0 {
+		segs := make([]Segment, len(s.Factors))
+		for i, f := range s.Factors {
+			max := f.MaxBytes
+			if max <= 0 {
+				max = math.MaxFloat64
+			}
+			segs[i] = Segment{MaxBytes: max, LatFactor: f.LatFactor, BwFactor: f.BwFactor}
+		}
+		model, err = NewPiecewiseModel(segs)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, model, nil
+}
+
+// ReadSpec decodes a JSON Spec from r.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("platform: decoding spec: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadSpec reads a JSON Spec from a file.
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}
+
+// WriteSpec encodes s as indented JSON to w.
+func WriteSpec(w io.Writer, s *Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// BenchmarkContextSwitch measures the lockstep scheduler handoff: two
+// processes alternating through zero-duration sleeps.
+func BenchmarkContextSwitch(b *testing.B) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1e9, Latency: 0}})
+	h := &Host{Name: "h", Speed: 1e9}
+	n := b.N
+	e.Spawn("p", h, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(1e-9)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPingPong measures matched send/recv pairs between two hosts.
+func BenchmarkPingPong(b *testing.B) {
+	link := &Link{Name: "l", Bandwidth: 1e9, Latency: 1e-6}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	n := b.N
+	e.Spawn("a", hs[0], func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Put("ab", 1024)
+			p.Get("ba")
+		}
+	})
+	e.Spawn("b", hs[1], func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Get("ab")
+			p.Put("ba", 1024)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMaxMinSharing measures the bandwidth-sharing solver with many
+// concurrent flows over a shared backbone.
+func BenchmarkMaxMinSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		link := &Link{Name: "bb", Bandwidth: 1e10, Latency: 1e-6}
+		e := NewEngine(pairRouter{link})
+		hs := newTestHosts(64, 1e9)
+		for j := 0; j < 32; j++ {
+			j := j
+			mb := string(rune('A' + j))
+			e.Spawn("s", hs[j], func(p *Proc) {
+				for k := 0; k < 8; k++ {
+					p.Put(mb, 1e6)
+				}
+			})
+			e.Spawn("r", hs[32+j], func(p *Proc) {
+				for k := 0; k < 8; k++ {
+					p.Get(mb)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetachedSends measures eager-style fire-and-forget traffic.
+func BenchmarkDetachedSends(b *testing.B) {
+	link := &Link{Name: "l", Bandwidth: 1e9, Latency: 1e-6}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.PinMailbox("mb", hs[1])
+	n := b.N
+	e.Spawn("s", hs[0], func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.PutDetached("mb", 1024, nil)
+			p.Sleep(1e-6)
+		}
+	})
+	e.Spawn("r", hs[1], func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Get("mb")
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import "fmt"
+
+// CommState tracks the lifecycle of a communication.
+type CommState int
+
+// Communication lifecycle states.
+const (
+	// CommPending: one side (send or recv) has been posted, waiting for the
+	// matching side.
+	CommPending CommState = iota
+	// CommLatency: both sides are known (or the send is detached); the
+	// transfer is in its latency stage.
+	CommLatency
+	// CommFlowing: the transfer is in its fluid (bandwidth) stage.
+	CommFlowing
+	// CommDone: all bytes have been delivered.
+	CommDone
+)
+
+func (s CommState) String() string {
+	switch s {
+	case CommPending:
+		return "pending"
+	case CommLatency:
+		return "latency"
+	case CommFlowing:
+		return "flowing"
+	case CommDone:
+		return "done"
+	}
+	return fmt.Sprintf("CommState(%d)", int(s))
+}
+
+// Comm is a point-to-point data transfer between two hosts. It is created by
+// the first side to post (send or receive) and completed when the last byte
+// is delivered. The MPI layer composes Comms into the full MPI semantics
+// (eager, rendezvous, collectives).
+type Comm struct {
+	// ID is a unique, monotonically increasing identifier (deterministic).
+	ID int64
+	// Mailbox is the rendezvous point name this comm was matched on.
+	Mailbox string
+	// Size is the payload size in bytes.
+	Size float64
+	// Payload is an arbitrary value carried from sender to receiver.
+	Payload any
+	// Detached reports whether the sender fire-and-forgot this transfer
+	// (eager mode small messages in the paper: "the send corresponds to the
+	// time of a copy of the data in the memory").
+	Detached bool
+
+	src, dst   *Host
+	sender     *Proc // nil once detached
+	receiver   *Proc // nil until recv posted
+	state      CommState
+	hasSend    bool
+	hasRecv    bool
+	fl         *flow
+	engine     *Engine
+	waiters    []*Proc
+	startTime  float64
+	finishTime float64
+}
+
+// State returns the comm's lifecycle state.
+func (c *Comm) State() CommState { return c.state }
+
+// Done reports whether the transfer has fully completed.
+func (c *Comm) Done() bool { return c.state == CommDone }
+
+// Src returns the sending host (nil until the send side is posted).
+func (c *Comm) Src() *Host { return c.src }
+
+// Dst returns the receiving host (nil until the receive side is posted).
+func (c *Comm) Dst() *Host { return c.dst }
+
+// StartTime returns the simulated time at which the transfer started moving
+// (both sides matched), and FinishTime the time of full delivery. They are
+// meaningful only once the corresponding state has been reached.
+func (c *Comm) StartTime() float64 { return c.startTime }
+
+// FinishTime returns the simulated completion time of the transfer.
+func (c *Comm) FinishTime() float64 { return c.finishTime }
+
+// mailbox is a named rendezvous point where sends and receives match in
+// FIFO order, as in SimGrid/SMPI.
+type mailbox struct {
+	name  string
+	sends []*Comm // posted sends not yet matched by a recv
+	recvs []*Comm // posted recvs not yet matched by a send
+}
+
+func (e *Engine) mailbox(name string) *mailbox {
+	mb, ok := e.mailboxes[name]
+	if !ok {
+		mb = &mailbox{name: name}
+		e.mailboxes[name] = mb
+	}
+	return mb
+}
+
+// postSend registers a send on mailbox mb. If a receive is already waiting
+// the comm starts immediately; otherwise (or if detached) it is queued.
+func (e *Engine) postSend(mbName string, p *Proc, size float64, payload any, detached bool) *Comm {
+	mb := e.mailbox(mbName)
+	if len(mb.recvs) > 0 {
+		c := mb.recvs[0]
+		mb.recvs = mb.recvs[1:]
+		c.Size = size
+		c.Payload = payload
+		c.Detached = detached
+		c.src = p.Host
+		c.sender = p
+		c.hasSend = true
+		e.startComm(c)
+		return c
+	}
+	e.commSeq++
+	c := &Comm{
+		ID:       e.commSeq,
+		Mailbox:  mbName,
+		Size:     size,
+		Payload:  payload,
+		Detached: detached,
+		src:      p.Host,
+		sender:   p,
+		hasSend:  true,
+		state:    CommPending,
+		engine:   e,
+	}
+	if detached {
+		// A detached send needs no matching receive to start moving: the
+		// data is pushed toward the destination mailbox and buffered there.
+		// The destination host is resolved when the receive is posted; until
+		// then the transfer is held in the mailbox queue. To model the eager
+		// protocol's behaviour — data travels immediately — we optimistically
+		// start the transfer toward the mailbox's pinned host if one is
+		// declared, and otherwise defer to match time.
+		if dst, ok := e.mailboxHosts[mbName]; ok {
+			c.dst = dst
+			mb.sends = append(mb.sends, c)
+			e.startComm(c)
+			return c
+		}
+	}
+	mb.sends = append(mb.sends, c)
+	return c
+}
+
+// postRecv registers a receive on mailbox mb. If a send is waiting the comm
+// starts (or, for an in-flight detached send, is simply claimed).
+func (e *Engine) postRecv(mbName string, p *Proc) *Comm {
+	mb := e.mailbox(mbName)
+	if len(mb.sends) > 0 {
+		c := mb.sends[0]
+		mb.sends = mb.sends[1:]
+		c.receiver = p
+		c.hasRecv = true
+		if c.state == CommPending {
+			c.dst = p.Host
+			e.startComm(c)
+		}
+		// If the detached transfer is already in flight (or done), the
+		// receive just attaches to it.
+		return c
+	}
+	e.commSeq++
+	c := &Comm{
+		ID:       e.commSeq,
+		Mailbox:  mbName,
+		dst:      p.Host,
+		receiver: p,
+		hasRecv:  true,
+		state:    CommPending,
+		engine:   e,
+	}
+	mb.recvs = append(mb.recvs, c)
+	return c
+}
+
+// PinMailbox declares that receives on mailbox name will always be posted
+// from host h. This lets detached (eager) sends start their transfer before
+// the receive is posted, which is exactly the behaviour the paper's SMPI
+// backend models for small messages. The MPI layer pins one mailbox per
+// (src,dst) pair at initialization.
+func (e *Engine) PinMailbox(name string, h *Host) {
+	e.mailboxHosts[name] = h
+}
+
+// startComm moves a matched (or detached-started) comm into its latency
+// stage and schedules the transition to the fluid stage.
+func (e *Engine) startComm(c *Comm) {
+	if c.src == nil || c.dst == nil {
+		panic("sim: startComm with unresolved endpoints")
+	}
+	route := e.router.Route(c.src, c.dst)
+	for _, l := range route.Links {
+		if l.Bandwidth <= 0 {
+			e.fail(fmt.Errorf("sim: comm %d crosses link %s with non-positive bandwidth", c.ID, l.Name))
+			return
+		}
+	}
+	latency, cap := e.netModel.Effective(route, c.Size)
+	c.state = CommLatency
+	c.startTime = e.now
+	e.stats.CommsStarted++
+	e.after(latency, func() {
+		if c.Size <= 0 {
+			e.completeComm(c)
+			return
+		}
+		c.state = CommFlowing
+		c.fl = &flow{comm: c, links: route.Links, cap: cap, rem: c.Size}
+		e.flows = append(e.flows, c.fl)
+		e.sharesDirty = true
+	})
+}
+
+// completeComm marks a transfer done and wakes every process waiting on it.
+func (e *Engine) completeComm(c *Comm) {
+	c.state = CommDone
+	c.finishTime = e.now
+	c.fl = nil
+	e.stats.CommsCompleted++
+	for _, p := range c.waiters {
+		e.wake(p)
+	}
+	c.waiters = c.waiters[:0]
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats accumulates engine-level counters, used by the efficiency
+// benchmarks (the paper's second axis: how fast the replay itself runs).
+type Stats struct {
+	ContextSwitches int64 // process scheduling handoffs
+	TimersFired     int64
+	CommsStarted    int64
+	CommsCompleted  int64
+	ShareRecomputes int64
+	Events          int64 // time-advance steps
+}
+
+// Engine is a sequential discrete-event simulator. Simulated processes run
+// as goroutines but the engine resumes exactly one at a time, so simulated
+// programs need no synchronization and runs are fully deterministic.
+type Engine struct {
+	now      float64
+	router   Router
+	netModel NetworkModel
+
+	procs    []*Proc
+	runq     []*Proc
+	nalive   int
+	timers   timerHeap
+	flows    []*flow
+	timerSeq int64
+	commSeq  int64
+	procSeq  int64
+
+	mailboxes    map[string]*mailbox
+	mailboxHosts map[string]*Host
+
+	sharesDirty bool
+	linkIndex   map[*Link]int
+	linkStates  []linkScratch
+
+	yield   chan struct{}
+	current *Proc
+	err     error
+	stats   Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithNetworkModel installs a non-default network model (e.g. the SMPI
+// piece-wise-linear factors).
+func WithNetworkModel(m NetworkModel) Option {
+	return func(e *Engine) { e.netModel = m }
+}
+
+// NewEngine creates an engine that routes communications with router.
+func NewEngine(router Router, opts ...Option) *Engine {
+	e := &Engine{
+		router:       router,
+		netModel:     DefaultModel{},
+		mailboxes:    make(map[string]*mailbox),
+		mailboxHosts: make(map[string]*Host),
+		linkIndex:    make(map[*Link]int),
+		yield:        make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// fail records a fatal simulation error; Run returns it after the current
+// scheduling round.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// wake moves a blocked process back to the run queue.
+func (e *Engine) wake(p *Proc) {
+	if p.state != procBlocked {
+		return
+	}
+	p.state = procRunnable
+	p.blockedOn = ""
+	e.runq = append(e.runq, p)
+}
+
+// DeadlockError is returned by Run when simulated processes remain blocked
+// with no pending activity to wake them (e.g. a receive whose matching send
+// is never posted — typically a malformed trace).
+type DeadlockError struct {
+	Time    float64
+	Blocked []string // "name: reason" for each blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked process(es): %s",
+		d.Time, len(d.Blocked), strings.Join(d.Blocked, "; "))
+}
+
+// Run executes the simulation until every process has finished, a deadlock
+// is detected, or a simulated program fails. It returns the first error.
+func (e *Engine) Run() error {
+	for {
+		// Phase 1: let every runnable process advance until it blocks.
+		for len(e.runq) > 0 && e.err == nil {
+			p := e.runq[0]
+			e.runq = e.runq[1:]
+			e.resume(p)
+		}
+		if e.err != nil {
+			return e.err
+		}
+		if e.nalive == 0 {
+			return nil
+		}
+		// Phase 2: advance simulated time to the next event.
+		if len(e.timers) == 0 && len(e.flows) == 0 {
+			return e.deadlock()
+		}
+		if e.sharesDirty {
+			e.recomputeShares()
+			e.stats.ShareRecomputes++
+		}
+		dt := e.nextEventDelta()
+		if math.IsInf(dt, 1) {
+			return e.deadlock()
+		}
+		e.advance(dt)
+		e.stats.Events++
+	}
+}
+
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == procBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockedOn))
+		}
+	}
+	return &DeadlockError{Time: e.now, Blocked: blocked}
+}
+
+// nextEventDelta returns the time until the earliest pending transition:
+// the next timer deadline or the earliest flow completion.
+func (e *Engine) nextEventDelta() float64 {
+	dt := math.Inf(1)
+	if len(e.timers) > 0 {
+		if d := e.timers[0].deadline - e.now; d < dt {
+			dt = d
+		}
+	}
+	for _, f := range e.flows {
+		if f.rate > 0 {
+			if d := f.rem / f.rate; d < dt {
+				dt = d
+			}
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	return dt
+}
+
+// advance moves simulated time forward by dt, progressing flows, completing
+// finished transfers, and firing due timers.
+func (e *Engine) advance(dt float64) {
+	e.now += dt
+	// Progress flows and collect completions. byteEps absorbs floating-point
+	// residue: a flow within a few ULPs of empty is complete.
+	if len(e.flows) > 0 {
+		kept := e.flows[:0]
+		for _, f := range e.flows {
+			if f.rate > 0 && !math.IsInf(f.rate, 1) {
+				f.rem -= f.rate * dt
+			}
+			byteEps := 1e-9 + 1e-12*f.comm.Size
+			if math.IsInf(f.rate, 1) || f.rem <= byteEps {
+				e.sharesDirty = true
+				e.completeComm(f.comm)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		e.flows = kept
+	}
+	// Fire due timers. A fired timer may schedule new timers or start flows;
+	// both are picked up on the next loop iteration.
+	const timeEps = 1e-12
+	for len(e.timers) > 0 && e.timers[0].deadline <= e.now+timeEps {
+		t := heap.Pop(&e.timers).(*timer)
+		if t.canceled {
+			continue
+		}
+		e.stats.TimersFired++
+		t.fire()
+	}
+}

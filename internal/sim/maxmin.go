@@ -1,0 +1,146 @@
+package sim
+
+import "math"
+
+// flow is the fluid stage of a communication: an amount of bytes crossing a
+// set of links, sharing their capacity with the other active flows.
+type flow struct {
+	comm  *Comm
+	links []*Link
+	// cap bounds the rate of this flow regardless of link shares (0 = no
+	// bound). The SMPI model uses it to apply bandwidth correction factors.
+	cap float64
+	// rate is the current max-min allocation, recomputed whenever the flow
+	// set changes.
+	rate float64
+	// rem is the number of bytes still to transfer.
+	rem float64
+}
+
+// recomputeShares assigns a rate to every active flow using progressive
+// filling (bounded max-min fairness): repeatedly find the most constrained
+// resource — either a saturated link or a flow's own rate cap — fix the
+// corresponding flows, remove their consumption, and continue. The result is
+// the classic max-min allocation: no flow can increase its rate without
+// decreasing that of a flow with an equal or smaller rate.
+func (e *Engine) recomputeShares() {
+	e.sharesDirty = false
+	flows := e.flows
+	if len(flows) == 0 {
+		return
+	}
+
+	// Collect the links crossed by at least one flow, deterministically
+	// (first-seen order).
+	idx := e.linkIndex
+	for k := range idx {
+		delete(idx, k)
+	}
+	states := e.linkStates[:0]
+	for _, f := range flows {
+		f.rate = 0
+		for _, l := range f.links {
+			if _, ok := idx[l]; !ok {
+				idx[l] = len(states)
+				states = append(states, linkScratch{rem: l.Bandwidth})
+			}
+			states[idx[l]].n++
+		}
+	}
+	e.linkStates = states
+
+	unfixed := len(flows)
+	fixed := make([]bool, len(flows))
+	for unfixed > 0 {
+		// Candidate level: the smallest of link fair shares and flow caps.
+		level := math.Inf(1)
+		for _, s := range states {
+			if s.n > 0 {
+				if share := s.rem / float64(s.n); share < level {
+					level = share
+				}
+			}
+		}
+		capBound := false
+		for i, f := range flows {
+			if !fixed[i] && f.cap > 0 && f.cap <= level {
+				level = f.cap
+				capBound = true
+			}
+		}
+		if math.IsInf(level, 1) {
+			// Flows with no links and no cap: local transfers. Mark them
+			// unconstrained; completion is immediate after latency.
+			for i, f := range flows {
+				if !fixed[i] {
+					f.rate = math.Inf(1)
+					fixed[i] = true
+					unfixed--
+				}
+			}
+			break
+		}
+		// Fix every unfixed flow that is constrained at this level: either
+		// its cap equals the level, or it crosses a link whose fair share
+		// equals the level (within rounding).
+		const relEps = 1e-12
+		progressed := false
+		for i, f := range flows {
+			if fixed[i] {
+				continue
+			}
+			constrained := capBound && f.cap > 0 && f.cap <= level*(1+relEps)
+			if !constrained {
+				for _, l := range f.links {
+					s := &states[idx[l]]
+					if s.n > 0 && s.rem/float64(s.n) <= level*(1+relEps) {
+						constrained = true
+						break
+					}
+				}
+			}
+			if !constrained {
+				continue
+			}
+			f.rate = level
+			fixed[i] = true
+			unfixed--
+			progressed = true
+			for _, l := range f.links {
+				s := &states[idx[l]]
+				s.rem -= level
+				if s.rem < 0 {
+					s.rem = 0
+				}
+				s.n--
+			}
+		}
+		if !progressed {
+			// Numerical corner: force-fix the flows at the level to
+			// guarantee termination.
+			for i, f := range flows {
+				if fixed[i] {
+					continue
+				}
+				f.rate = level
+				fixed[i] = true
+				unfixed--
+				for _, l := range f.links {
+					s := &states[idx[l]]
+					s.rem -= level
+					if s.rem < 0 {
+						s.rem = 0
+					}
+					s.n--
+				}
+			}
+		}
+	}
+}
+
+// linkScratch is per-link working state for the max-min solver, kept on the
+// engine to avoid per-recompute allocations.
+type linkScratch struct {
+	rem float64
+	n   int
+}

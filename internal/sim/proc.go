@@ -1,0 +1,225 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procCreated procState = iota
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process. Its body runs in a dedicated goroutine but
+// only while the engine has handed it control, so bodies are written as
+// plain sequential code calling the blocking primitives below.
+type Proc struct {
+	// Name identifies the process in errors and deadlock reports.
+	Name string
+	// Host is the resource the process computes on.
+	Host *Host
+
+	id        int64
+	engine    *Engine
+	state     procState
+	blockedOn string
+	resume    chan struct{}
+	fault     error
+}
+
+// simFault carries a simulated-program failure through panic/recover from
+// the faulting primitive to the process wrapper, which converts it into an
+// engine error. Simulated program bugs (negative compute amounts, waiting on
+// foreign comms, ...) abort the whole simulation: a replay with a corrupted
+// trace must not silently produce a time.
+type simFault struct{ err error }
+
+func (p *Proc) faultf(format string, args ...any) {
+	panic(simFault{fmt.Errorf("sim: process %s: "+format, append([]any{p.Name}, args...)...)})
+}
+
+// Spawn creates a simulated process named name pinned to host, running body.
+// It may be called before Run or from a running process.
+func (e *Engine) Spawn(name string, host *Host, body func(*Proc)) *Proc {
+	if host == nil {
+		panic("sim: Spawn with nil host")
+	}
+	e.procSeq++
+	p := &Proc{
+		Name:   name,
+		Host:   host,
+		id:     e.procSeq,
+		engine: e,
+		state:  procRunnable,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.runq = append(e.runq, p)
+	e.nalive++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if f, ok := r.(simFault); ok {
+					e.fail(f.err)
+				} else {
+					e.fail(fmt.Errorf("sim: process %s panicked: %v", name, r))
+				}
+			}
+			p.state = procDone
+			e.nalive--
+			e.current = nil
+			e.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	return p
+}
+
+// resume hands control to p until it blocks or finishes.
+func (e *Engine) resume(p *Proc) {
+	if p.state != procRunnable {
+		return
+	}
+	p.state = procRunning
+	e.current = p
+	e.stats.ContextSwitches++
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// block parks the calling process until the engine wakes it. reason is shown
+// in deadlock reports.
+func (p *Proc) block(reason string) {
+	e := p.engine
+	if e.current != p {
+		panic("sim: primitive called from outside the running process")
+	}
+	p.state = procBlocked
+	p.blockedOn = reason
+	e.current = nil
+	e.yield <- struct{}{}
+	<-p.resume
+	e.current = p
+	p.state = procRunning
+}
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.engine.now }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// Sleep suspends the process for d simulated seconds.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		p.faultf("Sleep(%g): negative duration", d)
+	}
+	e := p.engine
+	e.after(d, func() { e.wake(p) })
+	p.block(fmt.Sprintf("sleep(%g)", d))
+}
+
+// Execute simulates computing amount instructions at the host's calibrated
+// speed.
+func (p *Proc) Execute(amount float64) {
+	p.ExecuteAtRate(amount, p.Host.Speed)
+}
+
+// ExecuteAtRate simulates computing amount instructions at rate instructions
+// per second. The ground-truth cluster model uses per-segment rates to model
+// cache effects (Section 2.3 of the paper).
+func (p *Proc) ExecuteAtRate(amount, rate float64) {
+	if amount < 0 {
+		p.faultf("Execute(%g): negative amount", amount)
+	}
+	if rate <= 0 {
+		p.faultf("Execute(%g) at non-positive rate %g", amount, rate)
+	}
+	if amount == 0 {
+		return
+	}
+	p.Sleep(amount / rate)
+}
+
+// Put posts a send of size bytes on the given mailbox and blocks until the
+// transfer fully completes (rendezvous semantics).
+func (p *Proc) Put(mb string, size float64) *Comm {
+	c := p.PutAsync(mb, size)
+	p.WaitComm(c)
+	return c
+}
+
+// PutAsync posts a send and returns immediately; the transfer starts when a
+// matching receive is posted. Wait on the returned comm for completion.
+func (p *Proc) PutAsync(mb string, size float64) *Comm {
+	if size < 0 {
+		p.faultf("send of negative size %g", size)
+	}
+	return p.engine.postSend(mb, p, size, nil, false)
+}
+
+// PutPayload is PutAsync with an attached payload value delivered to the
+// receiver.
+func (p *Proc) PutPayload(mb string, size float64, payload any) *Comm {
+	if size < 0 {
+		p.faultf("send of negative size %g", size)
+	}
+	return p.engine.postSend(mb, p, size, payload, false)
+}
+
+// PutDetached posts a fire-and-forget send: the sender never waits and the
+// transfer proceeds on its own. This models the eager protocol's sender side
+// ("the send corresponds to the time of a copy of the data in the memory" —
+// the copy itself, if modelled, is charged separately by the MPI layer).
+func (p *Proc) PutDetached(mb string, size float64, payload any) *Comm {
+	if size < 0 {
+		p.faultf("send of negative size %g", size)
+	}
+	return p.engine.postSend(mb, p, size, payload, true)
+}
+
+// Get posts a receive on the mailbox and blocks until a matching transfer
+// has fully arrived. It returns the completed comm (payload included).
+func (p *Proc) Get(mb string) *Comm {
+	c := p.GetAsync(mb)
+	p.WaitComm(c)
+	return c
+}
+
+// GetAsync posts a receive and returns immediately; wait on the returned
+// comm for the data.
+func (p *Proc) GetAsync(mb string) *Comm {
+	return p.engine.postRecv(mb, p)
+}
+
+// WaitComm blocks until c completes.
+func (p *Proc) WaitComm(c *Comm) {
+	if c == nil {
+		p.faultf("wait on nil comm")
+	}
+	if c.engine != p.engine {
+		p.faultf("wait on comm from another engine")
+	}
+	for !c.Done() {
+		c.waiters = append(c.waiters, p)
+		p.block(fmt.Sprintf("wait(comm %d on %q)", c.ID, c.Mailbox))
+	}
+}
+
+// WaitAll blocks until every comm in cs has completed.
+func (p *Proc) WaitAll(cs []*Comm) {
+	for _, c := range cs {
+		p.WaitComm(c)
+	}
+}
+
+// TestComm reports whether c has completed, without blocking.
+func (p *Proc) TestComm(c *Comm) bool {
+	if c == nil {
+		p.faultf("test on nil comm")
+	}
+	return c.Done()
+}

@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// pairRouter routes every pair over a fixed shared link; same-host routes
+// are empty (infinitely fast after zero latency).
+type pairRouter struct{ link *Link }
+
+func (r pairRouter) Route(src, dst *Host) Route {
+	if src == dst {
+		return Route{}
+	}
+	return Route{Links: []*Link{r.link}, Latency: r.link.Latency}
+}
+
+// tableRouter routes by explicit (src,dst) table.
+type tableRouter map[[2]*Host]Route
+
+func (r tableRouter) Route(src, dst *Host) Route { return r[[2]*Host{src, dst}] }
+
+func newTestHosts(n int, speed float64) []*Host {
+	hs := make([]*Host, n)
+	for i := range hs {
+		hs[i] = &Host{Name: string(rune('a' + i)), Speed: speed}
+	}
+	return hs
+}
+
+const tol = 1e-9
+
+func approx(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e9, Latency: 1e-4}
+	e := NewEngine(pairRouter{link})
+	h := &Host{Name: "h", Speed: 1e9}
+	var end float64
+	e.Spawn("p", h, func(p *Proc) {
+		p.Sleep(1.5)
+		p.Sleep(0.25)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, end, 1.75, "end time")
+	approx(t, e.Now(), 1.75, "engine time")
+}
+
+func TestExecuteUsesHostSpeed(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
+	h := &Host{Name: "h", Speed: 2e9}
+	e.Spawn("p", h, func(p *Proc) { p.Execute(4e9) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Now(), 2.0, "execute time")
+}
+
+func TestExecuteAtRateOverridesSpeed(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
+	h := &Host{Name: "h", Speed: 1e9}
+	e.Spawn("p", h, func(p *Proc) { p.ExecuteAtRate(1e9, 0.5e9) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Now(), 2.0, "execute time")
+}
+
+func TestExecuteZeroAmountIsFree(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
+	h := &Host{Name: "h", Speed: 1e9}
+	e.Spawn("p", h, func(p *Proc) { p.Execute(0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Now(), 0, "time")
+}
+
+func TestPingTime(t *testing.T) {
+	// One message of 1e6 B over a 1e8 B/s link with 1 ms latency:
+	// t = 0.001 + 0.01 = 0.011.
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 1e-3}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.Spawn("sender", hs[0], func(p *Proc) { p.Put("mb", 1e6) })
+	var recvEnd float64
+	e.Spawn("receiver", hs[1], func(p *Proc) {
+		p.Get("mb")
+		recvEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, recvEnd, 0.011, "receive end")
+}
+
+func TestBlockingSendWaitsForReceiver(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	var sendEnd float64
+	e.Spawn("sender", hs[0], func(p *Proc) {
+		p.Put("mb", 1e6) // 0.01 s transfer
+		sendEnd = p.Now()
+	})
+	e.Spawn("receiver", hs[1], func(p *Proc) {
+		p.Sleep(5) // receiver shows up late
+		p.Get("mb")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sendEnd, 5.01, "blocking send completes only after match+transfer")
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	// Two simultaneous 1e6 B transfers over one 1e8 B/s link: each gets
+	// 5e7 B/s, both complete at 0.02 s (zero latency).
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(4, 1e9)
+	ends := make([]float64, 2)
+	e.Spawn("s0", hs[0], func(p *Proc) { p.Put("a", 1e6); ends[0] = p.Now() })
+	e.Spawn("s1", hs[1], func(p *Proc) { p.Put("b", 1e6); ends[1] = p.Now() })
+	e.Spawn("r0", hs[2], func(p *Proc) { p.Get("a") })
+	e.Spawn("r1", hs[3], func(p *Proc) { p.Get("b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ends[0], 0.02, "flow 0 end")
+	approx(t, ends[1], 0.02, "flow 1 end")
+}
+
+func TestMaxMinTwoBottlenecks(t *testing.T) {
+	// Flow A crosses l1 (cap 10); flow B crosses l1 and l2 (cap 4).
+	// Max-min: B limited by l2 at 4, A gets the rest of l1: 6.
+	hs := newTestHosts(4, 1e9)
+	l1 := &Link{Name: "l1", Bandwidth: 10, Latency: 0}
+	l2 := &Link{Name: "l2", Bandwidth: 4, Latency: 0}
+	r := tableRouter{
+		{hs[0], hs[1]}: {Links: []*Link{l1}},
+		{hs[2], hs[3]}: {Links: []*Link{l1, l2}},
+	}
+	e := NewEngine(r)
+	endA, endB := 0.0, 0.0
+	e.Spawn("sA", hs[0], func(p *Proc) { p.Put("a", 60); endA = p.Now() })
+	e.Spawn("sB", hs[2], func(p *Proc) { p.Put("b", 60); endB = p.Now() })
+	e.Spawn("rA", hs[1], func(p *Proc) { p.Get("a") })
+	e.Spawn("rB", hs[3], func(p *Proc) { p.Get("b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// B finishes at 60/4 = 15. A runs at 6 until B's share frees... but B
+	// finishes after A: A transfers 60 B at 6 B/s = 10 s < 15, so A ends at
+	// 10 and B then speeds up to 4 (still its cap by l2). B: 40 B done at
+	// t=10, remaining 20 at 4 B/s -> ends 15.
+	approx(t, endA, 10, "flow A end")
+	approx(t, endB, 15, "flow B end")
+}
+
+type capModel struct{ cap float64 }
+
+func (m capModel) Effective(route Route, size float64) (float64, float64) {
+	return route.Latency, m.cap
+}
+
+func TestRateCapLimitsFlow(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 0}
+	e := NewEngine(pairRouter{link}, WithNetworkModel(capModel{cap: 1e6}))
+	hs := newTestHosts(2, 1e9)
+	e.Spawn("s", hs[0], func(p *Proc) { p.Put("mb", 1e6) })
+	e.Spawn("r", hs[1], func(p *Proc) { p.Get("mb") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Now(), 1.0, "capped transfer time")
+}
+
+func TestDetachedSendWithPinnedMailboxStartsEarly(t *testing.T) {
+	// With the mailbox pinned, a detached send starts moving immediately;
+	// a receive posted later than the transfer duration returns at once.
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 1e-3}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.PinMailbox("mb", hs[1])
+	var sendEnd, recvEnd float64
+	e.Spawn("s", hs[0], func(p *Proc) {
+		p.PutDetached("mb", 1e6, nil) // in flight: done at 0.011
+		sendEnd = p.Now()
+	})
+	e.Spawn("r", hs[1], func(p *Proc) {
+		p.Sleep(1)
+		p.Get("mb")
+		recvEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sendEnd, 0, "detached send returns immediately")
+	approx(t, recvEnd, 1, "late receive finds buffered data")
+}
+
+func TestDetachedSendReceiverWaitsForArrival(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 1e-3}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.PinMailbox("mb", hs[1])
+	var recvEnd float64
+	e.Spawn("s", hs[0], func(p *Proc) {
+		p.Sleep(0.5)
+		p.PutDetached("mb", 1e6, nil)
+	})
+	e.Spawn("r", hs[1], func(p *Proc) {
+		p.Get("mb") // posted first; data arrives at 0.5+0.011
+		recvEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, recvEnd, 0.511, "receive completes at arrival")
+}
+
+func TestDetachedSendUnpinnedWaitsForMatch(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 1e-3}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	var recvEnd float64
+	e.Spawn("s", hs[0], func(p *Proc) { p.PutDetached("mb", 1e6, nil) })
+	e.Spawn("r", hs[1], func(p *Proc) {
+		p.Sleep(1)
+		p.Get("mb") // transfer starts only now (unpinned mailbox)
+		recvEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, recvEnd, 1.011, "transfer starts at match")
+}
+
+func TestZeroSizeCommCompletesAfterLatency(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 2e-3}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.Spawn("s", hs[0], func(p *Proc) { p.Put("mb", 0) })
+	e.Spawn("r", hs[1], func(p *Proc) { p.Get("mb") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Now(), 2e-3, "zero-size comm time")
+}
+
+func TestPayloadDelivered(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	var got any
+	e.Spawn("s", hs[0], func(p *Proc) {
+		c := p.PutPayload("mb", 8, "hello")
+		p.WaitComm(c)
+	})
+	e.Spawn("r", hs[1], func(p *Proc) { got = p.Get("mb").Payload })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("payload = %v, want hello", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e8, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(1, 1e9)
+	e.Spawn("r", hs[0], func(p *Proc) { p.Get("never") })
+	err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(d.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want 1 process", d.Blocked)
+	}
+}
+
+func TestNegativeComputeFaults(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
+	hs := newTestHosts(1, 1e9)
+	e.Spawn("p", hs[0], func(p *Proc) { p.Execute(-1) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error for negative compute")
+	}
+}
+
+func TestPanicInBodyBecomesError(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
+	hs := newTestHosts(1, 1e9)
+	e.Spawn("p", hs[0], func(p *Proc) { panic("boom") })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error from panicking body")
+	}
+}
+
+func TestZeroBandwidthLinkIsError(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 0, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.Spawn("s", hs[0], func(p *Proc) { p.Put("mb", 10) })
+	e.Spawn("r", hs[1], func(p *Proc) { p.Get("mb") })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error for zero-bandwidth link")
+	}
+}
+
+func TestWaitAllAndTest(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e6, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	var tested, after bool
+	e.Spawn("s", hs[0], func(p *Proc) {
+		c1 := p.PutAsync("a", 1e6)
+		c2 := p.PutAsync("b", 1e6)
+		tested = p.TestComm(c1) // nothing matched yet
+		p.WaitAll([]*Comm{c1, c2})
+		after = p.TestComm(c1) && p.TestComm(c2)
+	})
+	e.Spawn("r", hs[1], func(p *Proc) {
+		p.Get("a")
+		p.Get("b")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tested {
+		t.Error("TestComm returned true before match")
+	}
+	if !after {
+		t.Error("TestComm returned false after WaitAll")
+	}
+	// Sequential matching: both 1e6 B flows share sequentially-ish; total
+	// bytes 2e6 over 1e6 B/s => 2 s regardless of interleaving.
+	approx(t, e.Now(), 2, "total time")
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	e := NewEngine(pairRouter{&Link{Bandwidth: 1e9, Latency: 0}})
+	hs := newTestHosts(2, 1e9)
+	var childRan bool
+	e.Spawn("parent", hs[0], func(p *Proc) {
+		p.Engine().Spawn("child", hs[1], func(c *Proc) {
+			c.Sleep(1)
+			childRan = true
+		})
+		p.Sleep(2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+	approx(t, e.Now(), 2, "end time")
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (float64, Stats) {
+		link := &Link{Name: "l", Bandwidth: 1e7, Latency: 1e-4}
+		e := NewEngine(pairRouter{link})
+		hs := newTestHosts(8, 1e9)
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("s", hs[i], func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					p.Put(string(rune('a'+i)), float64(1000*(k+1)))
+					p.Execute(1e6)
+				}
+			})
+			e.Spawn("r", hs[4+i], func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					p.Get(string(rune('a' + i)))
+					p.Execute(2e6)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("non-deterministic end time: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("non-deterministic stats: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestCommStateTransitions(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e6, Latency: 0.5}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	var c *Comm
+	var stPending, stDone CommState
+	e.Spawn("s", hs[0], func(p *Proc) {
+		c = p.PutAsync("mb", 1e6)
+		stPending = c.State()
+		p.WaitComm(c)
+		stDone = c.State()
+	})
+	e.Spawn("r", hs[1], func(p *Proc) { p.Get("mb") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stPending != CommPending {
+		t.Errorf("state before match = %v, want pending", stPending)
+	}
+	if stDone != CommDone {
+		t.Errorf("state after wait = %v, want done", stDone)
+	}
+	approx(t, c.FinishTime(), 1.5, "finish time")
+}
+
+func TestStatsCount(t *testing.T) {
+	link := &Link{Name: "l", Bandwidth: 1e9, Latency: 0}
+	e := NewEngine(pairRouter{link})
+	hs := newTestHosts(2, 1e9)
+	e.Spawn("s", hs[0], func(p *Proc) { p.Put("mb", 1); p.Put("mb", 1) })
+	e.Spawn("r", hs[1], func(p *Proc) { p.Get("mb"); p.Get("mb") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CommsStarted != 2 || st.CommsCompleted != 2 {
+		t.Fatalf("comm stats = %+v, want 2 started/completed", st)
+	}
+	if st.ContextSwitches == 0 {
+		t.Fatal("no context switches recorded")
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "container/heap"
+
+// timer is a scheduled callback in simulated time. Ties on deadline are
+// broken by insertion sequence so runs are deterministic.
+type timer struct {
+	deadline float64
+	seq      int64
+	fire     func()
+	index    int
+	canceled bool
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// at schedules fire to run at absolute simulated time deadline.
+func (e *Engine) at(deadline float64, fire func()) *timer {
+	e.timerSeq++
+	t := &timer{deadline: deadline, seq: e.timerSeq, fire: fire}
+	heap.Push(&e.timers, t)
+	return t
+}
+
+// after schedules fire to run d simulated seconds from now.
+func (e *Engine) after(d float64, fire func()) *timer {
+	return e.at(e.now+d, fire)
+}

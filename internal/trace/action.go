@@ -1,0 +1,175 @@
+// Package trace defines the time-independent trace format at the heart of
+// the paper: per-rank streams of actions that carry only volumes — numbers
+// of instructions computed between MPI calls and bytes exchanged by each MPI
+// call — and no timestamps. Traces in this format can be acquired anywhere
+// and replayed on any simulated platform.
+//
+// The text encoding follows the paper (Section 3.2/3.3):
+//
+//	p0 compute 956140
+//	p0 send p1 1240
+//	p1 recv p0 1240
+//	p0 allreduce 40
+//
+// Both the v1 form of recv (no size: "p1 recv p0") and the v2 form with the
+// message size appended — the format change introduced by the SMPI rewrite —
+// are accepted. Rank tokens may be written "p3" or plain "3".
+package trace
+
+import "fmt"
+
+// Kind enumerates the action types of the time-independent format.
+type Kind int
+
+// Action kinds.
+const (
+	Init Kind = iota
+	Finalize
+	Compute
+	Send
+	ISend
+	Recv
+	IRecv
+	Wait
+	WaitAll
+	Barrier
+	Bcast
+	Reduce
+	AllReduce
+	AllToAll
+	Gather
+	AllGather
+)
+
+var kindNames = map[Kind]string{
+	Init:      "init",
+	Finalize:  "finalize",
+	Compute:   "compute",
+	Send:      "send",
+	ISend:     "isend",
+	Recv:      "recv",
+	IRecv:     "irecv",
+	Wait:      "wait",
+	WaitAll:   "waitall",
+	Barrier:   "barrier",
+	Bcast:     "bcast",
+	Reduce:    "reduce",
+	AllReduce: "allreduce",
+	AllToAll:  "alltoall",
+	Gather:    "gather",
+	AllGather: "allgather",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// HasPeer reports whether actions of this kind carry a peer rank.
+func (k Kind) HasPeer() bool {
+	switch k {
+	case Send, ISend, Recv, IRecv:
+		return true
+	}
+	return false
+}
+
+// IsCollective reports whether the kind is a collective operation.
+func (k Kind) IsCollective() bool {
+	switch k {
+	case Barrier, Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather:
+		return true
+	}
+	return false
+}
+
+// Action is one event of a time-independent trace.
+type Action struct {
+	// Rank is the MPI rank performing the action.
+	Rank int
+	// Kind is the action type.
+	Kind Kind
+	// Instructions is the compute volume (Compute actions only).
+	Instructions float64
+	// Peer is the destination (sends) or source (receives) rank; -1 when
+	// not applicable.
+	Peer int
+	// Bytes is the message size for point-to-point actions and the per-rank
+	// payload for collectives. For v1 recv actions the size is unknown and
+	// recorded as -1: the replayer then uses the size of the matching send.
+	Bytes float64
+	// Root is the root rank of rooted collectives (Bcast, Reduce, Gather).
+	Root int
+}
+
+// String renders the action in the canonical trace text form.
+func (a Action) String() string {
+	switch a.Kind {
+	case Compute:
+		return fmt.Sprintf("p%d compute %.0f", a.Rank, a.Instructions)
+	case Send, ISend:
+		return fmt.Sprintf("p%d %s p%d %.0f", a.Rank, a.Kind, a.Peer, a.Bytes)
+	case Recv, IRecv:
+		if a.Bytes < 0 {
+			return fmt.Sprintf("p%d %s p%d", a.Rank, a.Kind, a.Peer)
+		}
+		return fmt.Sprintf("p%d %s p%d %.0f", a.Rank, a.Kind, a.Peer, a.Bytes)
+	case Bcast, Reduce, Gather:
+		if a.Root != 0 {
+			return fmt.Sprintf("p%d %s %.0f %d", a.Rank, a.Kind, a.Bytes, a.Root)
+		}
+		return fmt.Sprintf("p%d %s %.0f", a.Rank, a.Kind, a.Bytes)
+	case AllReduce, AllToAll, AllGather:
+		return fmt.Sprintf("p%d %s %.0f", a.Rank, a.Kind, a.Bytes)
+	default:
+		return fmt.Sprintf("p%d %s", a.Rank, a.Kind)
+	}
+}
+
+// Validate checks the internal consistency of a single action.
+func (a Action) Validate() error {
+	if a.Rank < 0 {
+		return fmt.Errorf("trace: negative rank %d", a.Rank)
+	}
+	switch a.Kind {
+	case Compute:
+		if a.Instructions < 0 {
+			return fmt.Errorf("trace: p%d compute with negative volume %g", a.Rank, a.Instructions)
+		}
+	case Send, ISend:
+		if a.Peer < 0 {
+			return fmt.Errorf("trace: p%d %s without destination", a.Rank, a.Kind)
+		}
+		if a.Bytes < 0 {
+			return fmt.Errorf("trace: p%d %s with negative size %g", a.Rank, a.Kind, a.Bytes)
+		}
+		if a.Peer == a.Rank {
+			return fmt.Errorf("trace: p%d %s to itself", a.Rank, a.Kind)
+		}
+	case Recv, IRecv:
+		if a.Peer < 0 {
+			return fmt.Errorf("trace: p%d %s without source", a.Rank, a.Kind)
+		}
+		if a.Peer == a.Rank {
+			return fmt.Errorf("trace: p%d %s from itself", a.Rank, a.Kind)
+		}
+	case Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather:
+		if a.Bytes < 0 {
+			return fmt.Errorf("trace: p%d %s with negative size %g", a.Rank, a.Kind, a.Bytes)
+		}
+		if a.Root < 0 {
+			return fmt.Errorf("trace: p%d %s with negative root %d", a.Rank, a.Kind, a.Root)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func BenchmarkParseLine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := ParseLine("p0 send p1 1240"); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComputeLine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := ParseLine("p0 compute 956140"); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("p0 compute 956140\np0 send p1 1240\np0 irecv p2 880\np0 wait\n")
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := NewReader(strings.NewReader(src))
+		for {
+			_, ok, err := rd.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	actions := make([]Action, 0, 4000)
+	for i := 0; i < 1000; i++ {
+		actions = append(actions,
+			Action{Rank: 0, Kind: Compute, Instructions: 956140, Peer: -1},
+			Action{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240},
+			Action{Rank: 0, Kind: IRecv, Peer: 2, Bytes: 880},
+			Action{Rank: 0, Kind: Wait, Peer: -1},
+		)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, actions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

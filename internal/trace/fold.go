@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace folding: iterative applications produce traces whose bulk is one
+// block repeated once per iteration (LU's SSOR steps emit ~1000 identical
+// actions 250 times). Folding stores each maximal consecutively-repeated
+// block once together with its repetition count, shrinking trace files by
+// the iteration count while remaining a plain text format:
+//
+//	@folded v1
+//	p0 compute 956140
+//	@loop 248 1030
+//	p0 recv p1 2040
+//	...1029 more body lines...
+//
+// A `@loop N L` directive says: the next L action lines repeat N times.
+// Loops do not nest. Expansion is streaming — the replayer never
+// materializes the unfolded trace.
+
+// foldedHeader is the first line of a folded trace file.
+const foldedHeader = "@folded v1"
+
+// foldMinSavings is the minimum number of lines a loop must save to be
+// worth the directive.
+const foldMinSavings = 8
+
+// foldMaxPeriod bounds the repeated-block length the folder searches for.
+const foldMaxPeriod = 8192
+
+// Fold compresses actions by detecting maximal consecutively repeated
+// blocks. The result expands to exactly the input sequence (a property the
+// tests enforce); folding is lossless.
+func Fold(actions []Action) FoldedTrace {
+	var blocks []FoldBlock
+	var literal []Action
+	flush := func() {
+		if len(literal) > 0 {
+			blocks = append(blocks, FoldBlock{Count: 1, Body: literal})
+			literal = nil
+		}
+	}
+	n := len(actions)
+	for i := 0; i < n; {
+		bestL, bestK := 0, 0
+		// Candidate periods: distances to the next occurrences of
+		// actions[i]. The first repetition of an iteration block starts
+		// with the same action, so this finds application loop periods
+		// without quadratic search.
+		limit := foldMaxPeriod
+		if i+limit > n {
+			limit = n - i
+		}
+		for L := 1; L <= limit/2; L++ {
+			if actions[i+L] != actions[i] {
+				continue
+			}
+			// Verify how many times the block [i, i+L) repeats.
+			k := 1
+			for i+(k+1)*L <= n && equalBlocks(actions[i:i+L], actions[i+k*L:i+(k+1)*L]) {
+				k++
+			}
+			if k >= 2 && (k-1)*L >= foldMinSavings && (k-1)*L > (bestK-1)*bestL {
+				bestL, bestK = L, k
+			}
+			// The first found period with a valid fold is almost always
+			// the application loop; keep scanning only while no fold
+			// qualifies, to stay near-linear.
+			if bestK >= 2 {
+				break
+			}
+		}
+		if bestK >= 2 {
+			flush()
+			body := make([]Action, bestL)
+			copy(body, actions[i:i+bestL])
+			blocks = append(blocks, FoldBlock{Count: bestK, Body: body})
+			i += bestL * bestK
+			continue
+		}
+		literal = append(literal, actions[i])
+		i++
+	}
+	flush()
+	return FoldedTrace{Blocks: blocks}
+}
+
+func equalBlocks(a, b []Action) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FoldBlock is Count consecutive repetitions of Body.
+type FoldBlock struct {
+	Count int
+	Body  []Action
+}
+
+// FoldedTrace is a losslessly folded action sequence.
+type FoldedTrace struct {
+	Blocks []FoldBlock
+}
+
+// Len returns the expanded action count.
+func (f FoldedTrace) Len() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += b.Count * len(b.Body)
+	}
+	return n
+}
+
+// Lines returns the folded line count (directives + body lines).
+func (f FoldedTrace) Lines() int {
+	n := 1 // header
+	for _, b := range f.Blocks {
+		if b.Count > 1 {
+			n++
+		}
+		n += len(b.Body)
+	}
+	return n
+}
+
+// Expand materializes the original sequence.
+func (f FoldedTrace) Expand() []Action {
+	out := make([]Action, 0, f.Len())
+	for _, b := range f.Blocks {
+		for k := 0; k < b.Count; k++ {
+			out = append(out, b.Body...)
+		}
+	}
+	return out
+}
+
+// WriteFolded folds actions and writes the folded text form.
+func WriteFolded(w io.Writer, actions []Action) error {
+	f := Fold(actions)
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, foldedHeader); err != nil {
+		return err
+	}
+	for _, b := range f.Blocks {
+		if b.Count > 1 {
+			if _, err := fmt.Fprintf(bw, "@loop %d %d\n", b.Count, len(b.Body)); err != nil {
+				return err
+			}
+		}
+		for _, a := range b.Body {
+			if err := a.Validate(); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(bw, a.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// expandingReader streams a folded trace, expanding loops on the fly. It
+// also accepts plain traces (no header), making it a drop-in reader.
+type expandingReader struct {
+	rd     *Reader
+	filter int // < 0 keeps all ranks
+	// current loop state.
+	body      []Action
+	remaining int // repetitions left after the buffered one
+	pos       int
+}
+
+// NewExpandingReader reads a trace that may be folded (detected via the
+// @folded header) or plain. filter < 0 keeps all ranks.
+func NewExpandingReader(r io.Reader, filter int) Stream {
+	br := bufio.NewReaderSize(r, 64*1024)
+	head, _ := br.Peek(len(foldedHeader))
+	if string(head) != foldedHeader {
+		rd := NewReader(br)
+		rd.filter = filter
+		return rd
+	}
+	// Consume the header line.
+	if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+		return &errStream{err: err}
+	}
+	return &expandingReader{rd: NewReader(br), filter: filter}
+}
+
+type errStream struct{ err error }
+
+func (s *errStream) Next() (Action, bool, error) { return Action{}, false, s.err }
+
+// Next implements Stream.
+func (e *expandingReader) Next() (Action, bool, error) {
+	for {
+		a, ok, err := e.next()
+		if err != nil || !ok {
+			return a, ok, err
+		}
+		if e.filter >= 0 && a.Rank != e.filter {
+			continue
+		}
+		return a, true, nil
+	}
+}
+
+func (e *expandingReader) next() (Action, bool, error) {
+	// Replaying a buffered loop body.
+	if e.body != nil {
+		if e.pos < len(e.body) {
+			a := e.body[e.pos]
+			e.pos++
+			return a, true, nil
+		}
+		if e.remaining > 0 {
+			e.remaining--
+			e.pos = 1
+			return e.body[0], true, nil
+		}
+		e.body = nil
+		e.pos = 0
+	}
+	// Read the underlying stream, intercepting directives.
+	line, readErr := e.rd.readRawLine()
+	if readErr != nil {
+		if readErr == io.EOF {
+			return Action{}, false, nil
+		}
+		return Action{}, false, readErr
+	}
+	trimmed := strings.TrimSpace(line)
+	if strings.HasPrefix(trimmed, "@loop") {
+		fields := strings.Fields(trimmed)
+		if len(fields) != 3 {
+			return Action{}, false, fmt.Errorf("trace: malformed loop directive %q", trimmed)
+		}
+		count, err1 := strconv.Atoi(fields[1])
+		length, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || count < 1 || length < 1 {
+			return Action{}, false, fmt.Errorf("trace: bad loop directive %q", trimmed)
+		}
+		body := make([]Action, 0, length)
+		for len(body) < length {
+			bl, err := e.rd.readRawLine()
+			if err != nil {
+				return Action{}, false, fmt.Errorf("trace: truncated loop body (%d/%d lines): %w", len(body), length, err)
+			}
+			a, ok, err := ParseLine(bl)
+			if err != nil {
+				return Action{}, false, err
+			}
+			if !ok {
+				continue // comments allowed inside bodies
+			}
+			body = append(body, a)
+		}
+		e.body = body
+		e.remaining = count - 1
+		e.pos = 1
+		return body[0], true, nil
+	}
+	a, ok, err := ParseLine(trimmed)
+	if err != nil {
+		return Action{}, false, err
+	}
+	if !ok {
+		return e.next() // skip blanks/comments
+	}
+	return a, true, nil
+}

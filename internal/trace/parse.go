@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseRank accepts "p12" or "12".
+func parseRank(tok string) (int, error) {
+	s := strings.TrimPrefix(tok, "p")
+	r, err := strconv.Atoi(s)
+	if err != nil || r < 0 {
+		return 0, fmt.Errorf("trace: bad rank token %q", tok)
+	}
+	return r, nil
+}
+
+func parseVolume(tok string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("trace: bad volume token %q", tok)
+	}
+	return v, nil
+}
+
+// ParseLine parses one trace line. Blank lines and lines starting with '#'
+// yield ok=false with no error.
+func ParseLine(line string) (a Action, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Action{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Action{}, false, fmt.Errorf("trace: malformed line %q", line)
+	}
+	rank, err := parseRank(fields[0])
+	if err != nil {
+		return Action{}, false, err
+	}
+	kind, known := kindByName[strings.ToLower(fields[1])]
+	if !known {
+		return Action{}, false, fmt.Errorf("trace: unknown action %q in line %q", fields[1], line)
+	}
+	a = Action{Rank: rank, Kind: kind, Peer: -1}
+	args := fields[2:]
+	switch kind {
+	case Init, Finalize, Wait, WaitAll, Barrier:
+		// no arguments
+
+	case Compute:
+		if len(args) != 1 {
+			return Action{}, false, fmt.Errorf("trace: compute needs one volume in %q", line)
+		}
+		if a.Instructions, err = parseVolume(args[0]); err != nil {
+			return Action{}, false, err
+		}
+
+	case Send, ISend:
+		if len(args) != 2 {
+			return Action{}, false, fmt.Errorf("trace: %s needs destination and size in %q", kind, line)
+		}
+		if a.Peer, err = parseRank(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if a.Bytes, err = parseVolume(args[1]); err != nil {
+			return Action{}, false, err
+		}
+
+	case Recv, IRecv:
+		// v1: "recv p0"; v2: "recv p0 1240".
+		if len(args) != 1 && len(args) != 2 {
+			return Action{}, false, fmt.Errorf("trace: %s needs a source (and optional size) in %q", kind, line)
+		}
+		if a.Peer, err = parseRank(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		a.Bytes = -1
+		if len(args) == 2 {
+			if a.Bytes, err = parseVolume(args[1]); err != nil {
+				return Action{}, false, err
+			}
+		}
+
+	case Bcast, Reduce, Gather:
+		if len(args) != 1 && len(args) != 2 {
+			return Action{}, false, fmt.Errorf("trace: %s needs a size (and optional root) in %q", kind, line)
+		}
+		if a.Bytes, err = parseVolume(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if len(args) == 2 {
+			root, err := strconv.Atoi(args[1])
+			if err != nil || root < 0 {
+				return Action{}, false, fmt.Errorf("trace: bad root %q in %q", args[1], line)
+			}
+			a.Root = root
+		}
+
+	case AllReduce, AllToAll, AllGather:
+		if len(args) != 1 {
+			return Action{}, false, fmt.Errorf("trace: %s needs a size in %q", kind, line)
+		}
+		if a.Bytes, err = parseVolume(args[0]); err != nil {
+			return Action{}, false, err
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return Action{}, false, err
+	}
+	return a, true, nil
+}
+
+// Reader streams actions from a text trace. It reports I/O and syntax errors
+// with line numbers.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+	// filter, when >= 0, keeps only actions of that rank (merged traces).
+	filter int
+}
+
+// NewReader wraps r as a trace action stream over all ranks.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{scanner: sc, filter: -1}
+}
+
+// NewFilteredReader is NewReader restricted to actions of one rank; it is
+// how a per-process replayer consumes the "single entry" merged-trace layout
+// the paper's trace-description file supports.
+func NewFilteredReader(r io.Reader, rank int) *Reader {
+	rd := NewReader(r)
+	rd.filter = rank
+	return rd
+}
+
+// Next returns the next action. ok=false with nil error signals the end of
+// the trace.
+func (r *Reader) Next() (a Action, ok bool, err error) {
+	for r.scanner.Scan() {
+		r.line++
+		a, ok, err := ParseLine(r.scanner.Text())
+		if err != nil {
+			return Action{}, false, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		if !ok {
+			continue
+		}
+		if r.filter >= 0 && a.Rank != r.filter {
+			continue
+		}
+		return a, true, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return Action{}, false, err
+	}
+	return Action{}, false, nil
+}
+
+// ReadAll parses a whole trace into memory.
+func ReadAll(r io.Reader) ([]Action, error) {
+	rd := NewReader(r)
+	var out []Action
+	for {
+		a, ok, err := rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, a)
+	}
+}
+
+// Write renders actions in canonical text form, one per line.
+func Write(w io.Writer, actions []Action) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range actions {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(a.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readRawLine returns the next raw line of the underlying input, without
+// parsing. The folded-trace expander uses it to intercept directives.
+func (r *Reader) readRawLine() (string, error) {
+	if !r.scanner.Scan() {
+		if err := r.scanner.Err(); err != nil {
+			return "", err
+		}
+		return "", io.EOF
+	}
+	r.line++
+	return r.scanner.Text(), nil
+}

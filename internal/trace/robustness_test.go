@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseLine never panics and never both errors and succeeds,
+// whatever bytes it is fed.
+func TestParseLineNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseLine panicked on %q: %v", raw, r)
+			}
+		}()
+		a, ok, err := ParseLine(string(raw))
+		if err != nil && ok {
+			return false
+		}
+		if ok {
+			// Anything accepted must re-validate.
+			return a.Validate() == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reader tolerates arbitrary garbage lines mixed with valid
+// ones by reporting an error (never panicking, never mis-parsing).
+func TestReaderGarbageLines(t *testing.T) {
+	inputs := []string{
+		"p0 compute\n",
+		"p0 send p1 1e999\n", // overflow to +Inf — must be rejected or parsed finitely
+		"\x00\x01\x02\n",
+		"p99999999999999999999 compute 1\n",
+		"p0 compute 1 # trailing comment is not supported\n",
+		strings.Repeat("x", 100000) + "\n",
+	}
+	for _, in := range inputs {
+		rd := NewReader(strings.NewReader(in))
+		for {
+			_, ok, err := rd.Next()
+			if err != nil {
+				break // error is the acceptable outcome
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+func TestParseOverflowVolume(t *testing.T) {
+	a, ok, err := ParseLine("p0 compute 1e999")
+	if err == nil && ok && (a.Instructions > 1e308) {
+		t.Fatalf("accepted infinite volume: %+v", a)
+	}
+}
+
+func TestReaderVeryLongLine(t *testing.T) {
+	// A line longer than the initial scanner buffer must still parse.
+	line := "p0 compute 123" + strings.Repeat(" ", 70000) + "\n"
+	rd := NewReader(strings.NewReader(line))
+	a, ok, err := rd.Next()
+	if err != nil || !ok || a.Instructions != 123 {
+		t.Fatalf("long line: %+v ok=%v err=%v", a, ok, err)
+	}
+}

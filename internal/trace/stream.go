@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Stream is a pull-based source of actions for one rank. ok=false with nil
+// error signals end of stream.
+type Stream interface {
+	Next() (a Action, ok bool, err error)
+}
+
+// Provider hands out one action stream per rank. Both file-backed traces and
+// in-memory generators (the NPB workload models) implement it, so the replay
+// engine never needs to materialize a full trace.
+type Provider interface {
+	// NumRanks is the number of processes in the traced application.
+	NumRanks() int
+	// Rank opens the action stream of one rank. Each call returns a fresh
+	// stream positioned at the beginning.
+	Rank(rank int) (Stream, error)
+}
+
+// SliceStream streams from an in-memory action slice.
+type SliceStream struct {
+	actions []Action
+	pos     int
+}
+
+// NewSliceStream wraps actions as a Stream.
+func NewSliceStream(actions []Action) *SliceStream {
+	return &SliceStream{actions: actions}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Action, bool, error) {
+	if s.pos >= len(s.actions) {
+		return Action{}, false, nil
+	}
+	a := s.actions[s.pos]
+	s.pos++
+	return a, true, nil
+}
+
+// MemProvider serves per-rank in-memory traces.
+type MemProvider struct {
+	perRank [][]Action
+}
+
+// NewMemProvider builds a provider over per-rank action slices.
+func NewMemProvider(perRank [][]Action) *MemProvider {
+	return &MemProvider{perRank: perRank}
+}
+
+// NumRanks implements Provider.
+func (m *MemProvider) NumRanks() int { return len(m.perRank) }
+
+// Rank implements Provider.
+func (m *MemProvider) Rank(rank int) (Stream, error) {
+	if rank < 0 || rank >= len(m.perRank) {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", rank, len(m.perRank))
+	}
+	return NewSliceStream(m.perRank[rank]), nil
+}
+
+// fileStream streams a trace file, closing it at EOF.
+type fileStream struct {
+	f  *os.File
+	rd Stream
+}
+
+func (s *fileStream) Next() (Action, bool, error) {
+	a, ok, err := s.rd.Next()
+	if err != nil || !ok {
+		s.f.Close()
+	}
+	return a, ok, err
+}
+
+// FileProvider serves traces stored as files, as produced by the acquisition
+// tool chain: either one file per rank, or a single merged file shared by
+// all ranks (each rank filters its own actions), matching the two layouts of
+// the paper's trace-description file.
+type FileProvider struct {
+	files  []string // len 1 (merged) or NumRanks (per-rank)
+	nranks int
+}
+
+// NewFileProvider builds a provider over explicit per-rank files.
+func NewFileProvider(files []string) (*FileProvider, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("trace: no trace files")
+	}
+	return &FileProvider{files: files, nranks: len(files)}, nil
+}
+
+// NewMergedFileProvider serves nranks ranks from one merged trace file.
+func NewMergedFileProvider(file string, nranks int) (*FileProvider, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("trace: merged provider needs a positive rank count, got %d", nranks)
+	}
+	return &FileProvider{files: []string{file}, nranks: nranks}, nil
+}
+
+// LoadDescription reads a trace-description file: a list of trace file
+// names, one per rank. As in the paper, "if this file contains a single
+// entry, all the processes will look for the actions they have to perform
+// into the same trace" — in that case nranks tells how many ranks to serve.
+// Relative trace paths are resolved against the description file's
+// directory.
+func LoadDescription(path string, nranks int) (*FileProvider, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	var files []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !filepath.IsAbs(line) {
+			line = filepath.Join(dir, line)
+		}
+		files = append(files, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case len(files) == 0:
+		return nil, fmt.Errorf("trace: empty description file %s", path)
+	case len(files) == 1 && nranks > 1:
+		return NewMergedFileProvider(files[0], nranks)
+	default:
+		return NewFileProvider(files)
+	}
+}
+
+// NumRanks implements Provider.
+func (p *FileProvider) NumRanks() int { return p.nranks }
+
+// Rank implements Provider.
+func (p *FileProvider) Rank(rank int) (Stream, error) {
+	if rank < 0 || rank >= p.nranks {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", rank, p.nranks)
+	}
+	var path string
+	merged := len(p.files) == 1 && p.nranks > 1
+	if merged {
+		path = p.files[0]
+	} else {
+		path = p.files[rank]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	filter := -1
+	if merged {
+		filter = rank
+	}
+	// The expanding reader transparently handles both plain and folded
+	// (@folded v1) trace files.
+	return &fileStream{f: f, rd: NewExpandingReader(f, filter)}, nil
+}
+
+// WriteSet writes per-rank traces plus a description file into dir, using
+// the naming scheme <prefix>_<rank>.trace and <prefix>.desc. It returns the
+// description file path.
+func WriteSet(dir, prefix string, perRank [][]Action) (string, error) {
+	return writeSet(dir, prefix, perRank, Write)
+}
+
+// WriteFoldedSet is WriteSet with loop-folded trace files (see Fold); the
+// file provider expands them transparently on read.
+func WriteFoldedSet(dir, prefix string, perRank [][]Action) (string, error) {
+	return writeSet(dir, prefix, perRank, WriteFolded)
+}
+
+func writeSet(dir, prefix string, perRank [][]Action, write func(io.Writer, []Action) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	descPath := filepath.Join(dir, prefix+".desc")
+	desc, err := os.Create(descPath)
+	if err != nil {
+		return "", err
+	}
+	defer desc.Close()
+	for rank, actions := range perRank {
+		name := fmt.Sprintf("%s_%d.trace", prefix, rank)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		if err := write(f, actions); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		if _, err := fmt.Fprintln(desc, name); err != nil {
+			return "", err
+		}
+	}
+	return descPath, nil
+}

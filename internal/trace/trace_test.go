@@ -1,0 +1,378 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperSnippet(t *testing.T) {
+	// The exact snippet from Section 3.2 of the paper.
+	src := `p0 compute 956140
+p0 send p1 1240
+p0 compute 2110
+p0 send p2 1240
+p0 compute 3821`
+	actions, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 5 {
+		t.Fatalf("parsed %d actions, want 5", len(actions))
+	}
+	want := Action{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240}
+	if actions[1] != want {
+		t.Fatalf("action[1] = %+v, want %+v", actions[1], want)
+	}
+	if actions[0].Instructions != 956140 {
+		t.Fatalf("compute volume = %v", actions[0].Instructions)
+	}
+}
+
+func TestParseRecvV1AndV2(t *testing.T) {
+	a1, ok, err := ParseLine("p1 recv p0")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if a1.Bytes != -1 {
+		t.Fatalf("v1 recv bytes = %v, want -1 (unknown)", a1.Bytes)
+	}
+	a2, ok, err := ParseLine("p1 recv p0 1240")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if a2.Bytes != 1240 {
+		t.Fatalf("v2 recv bytes = %v, want 1240", a2.Bytes)
+	}
+}
+
+func TestParsePlainRankTokens(t *testing.T) {
+	a, ok, err := ParseLine("3 send 4 100")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if a.Rank != 3 || a.Peer != 4 {
+		t.Fatalf("a = %+v", a)
+	}
+}
+
+func TestParseCollectives(t *testing.T) {
+	cases := []struct {
+		line string
+		kind Kind
+		root int
+	}{
+		{"p0 allreduce 40", AllReduce, 0},
+		{"p0 bcast 1024", Bcast, 0},
+		{"p0 bcast 1024 3", Bcast, 3},
+		{"p0 reduce 8 2", Reduce, 2},
+		{"p2 barrier", Barrier, 0},
+		{"p1 alltoall 512", AllToAll, 0},
+		{"p1 allgather 256", AllGather, 0},
+		{"p1 gather 64 0", Gather, 0},
+	}
+	for _, c := range cases {
+		a, ok, err := ParseLine(c.line)
+		if err != nil || !ok {
+			t.Fatalf("%q: %v", c.line, err)
+		}
+		if a.Kind != c.kind || a.Root != c.root {
+			t.Fatalf("%q -> %+v", c.line, a)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\n  \np0 compute 10\n# trailing\n"
+	actions, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 {
+		t.Fatalf("parsed %d actions, want 1", len(actions))
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	src := "p0 compute 10\np0 send\n"
+	_, err := ReadAll(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 info", err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"p0 send p1",      // missing size
+		"p0 send p1 -5",   // negative size
+		"p0 compute -1",   // negative volume
+		"p0 frobnicate 1", // unknown action
+		"p0 send p0 10",   // self-send
+		"p0 compute 1 2",  // extra args
+		"px compute 1",    // bad rank
+		"p0 allreduce",    // missing size
+		"p0 bcast 10 x",   // bad root
+	}
+	for _, line := range bad {
+		if _, ok, err := ParseLine(line); err == nil && ok {
+			t.Errorf("ParseLine(%q) accepted", line)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	actions := []Action{
+		{Rank: 0, Kind: Init, Peer: -1},
+		{Rank: 0, Kind: Compute, Instructions: 956140, Peer: -1},
+		{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240},
+		{Rank: 0, Kind: IRecv, Peer: 2, Bytes: 880},
+		{Rank: 0, Kind: Wait, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: Bcast, Bytes: 100, Root: 2, Peer: -1},
+		{Rank: 0, Kind: Finalize, Peer: -1},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, actions); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, actions) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, actions)
+	}
+}
+
+// Property: any valid action round-trips through text unchanged.
+func TestActionRoundTripProperty(t *testing.T) {
+	f := func(rank uint8, kindSel uint8, vol uint32, peer uint8, root uint8) bool {
+		kinds := []Kind{Compute, Send, ISend, Recv, IRecv, Barrier, Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather, Init, Finalize, Wait, WaitAll}
+		k := kinds[int(kindSel)%len(kinds)]
+		a := Action{Rank: int(rank), Kind: k, Peer: -1}
+		switch k {
+		case Compute:
+			a.Instructions = float64(vol)
+		case Send, ISend, Recv, IRecv:
+			a.Peer = int(peer)
+			if a.Peer == a.Rank {
+				a.Peer = a.Rank + 1
+			}
+			a.Bytes = float64(vol)
+		case Bcast, Reduce, Gather:
+			a.Bytes = float64(vol)
+			a.Root = int(root)
+		case AllReduce, AllToAll, AllGather:
+			a.Bytes = float64(vol)
+		}
+		got, ok, err := ParseLine(a.String())
+		return err == nil && ok && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilteredReader(t *testing.T) {
+	src := "p0 compute 1\np1 compute 2\np0 compute 3\np2 compute 4\n"
+	rd := NewFilteredReader(strings.NewReader(src), 0)
+	var got []float64
+	for {
+		a, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, a.Instructions)
+	}
+	if !reflect.DeepEqual(got, []float64{1, 3}) {
+		t.Fatalf("filtered = %v, want [1 3]", got)
+	}
+}
+
+func TestSliceStreamAndMemProvider(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{{Rank: 0, Kind: Compute, Instructions: 5, Peer: -1}},
+		{{Rank: 1, Kind: Compute, Instructions: 7, Peer: -1}},
+	})
+	if p.NumRanks() != 2 {
+		t.Fatalf("ranks = %d", p.NumRanks())
+	}
+	st, err := p.Rank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, _ := st.Next()
+	if !ok || a.Instructions != 7 {
+		t.Fatalf("a = %+v ok=%v", a, ok)
+	}
+	if _, ok, _ := st.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+	if _, err := p.Rank(5); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestWriteSetAndLoadDescription(t *testing.T) {
+	dir := t.TempDir()
+	perRank := [][]Action{
+		{{Rank: 0, Kind: Compute, Instructions: 10, Peer: -1}, {Rank: 0, Kind: Send, Peer: 1, Bytes: 8}},
+		{{Rank: 1, Kind: Recv, Peer: 0, Bytes: 8}, {Rank: 1, Kind: Compute, Instructions: 20, Peer: -1}},
+	}
+	desc, err := WriteSet(dir, "lu_b8", perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadDescription(desc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRanks() != 2 {
+		t.Fatalf("ranks = %d", p.NumRanks())
+	}
+	st, err := p.Rank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := st.Next()
+	if err != nil || !ok || a.Kind != Recv || a.Peer != 0 {
+		t.Fatalf("a = %+v ok=%v err=%v", a, ok, err)
+	}
+}
+
+func TestMergedFileProvider(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "all.trace")
+	content := "p0 compute 1\np1 compute 2\np0 send p1 4\np1 recv p0 4\n"
+	if err := os.WriteFile(merged, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	desc := filepath.Join(dir, "all.desc")
+	if err := os.WriteFile(desc, []byte("all.trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadDescription(desc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Rank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for {
+		a, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		kinds = append(kinds, a.Kind)
+	}
+	if !reflect.DeepEqual(kinds, []Kind{Compute, Recv}) {
+		t.Fatalf("rank1 kinds = %v", kinds)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{
+			{Rank: 0, Kind: Compute, Instructions: 100, Peer: -1},
+			{Rank: 0, Kind: Send, Peer: 1, Bytes: 1000},
+			{Rank: 0, Kind: Send, Peer: 1, Bytes: 100000},
+			{Rank: 0, Kind: AllReduce, Bytes: 8, Peer: -1},
+		},
+		{
+			{Rank: 1, Kind: Compute, Instructions: 50, Peer: -1},
+			{Rank: 1, Kind: Recv, Peer: 0, Bytes: 1000},
+			{Rank: 1, Kind: Recv, Peer: 0, Bytes: 100000},
+			{Rank: 1, Kind: AllReduce, Bytes: 8, Peer: -1},
+		},
+	})
+	s, err := Collect(p, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions != 150 || s.P2PMessages != 2 || s.EagerMessages != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P2PBytes != 101000 {
+		t.Fatalf("p2p bytes = %v", s.P2PBytes)
+	}
+	if math.Abs(s.InstructionsByRank[0]-100) > 0 || math.Abs(s.InstructionsByRank[1]-50) > 0 {
+		t.Fatalf("per-rank instructions = %v", s.InstructionsByRank)
+	}
+	if s.ByKind[AllReduce] != 2 {
+		t.Fatalf("allreduce count = %d", s.ByKind[AllReduce])
+	}
+}
+
+func TestValidateAcceptsBalanced(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{{Rank: 0, Kind: Send, Peer: 1, Bytes: 8}, {Rank: 0, Kind: Barrier, Peer: -1}},
+		{{Rank: 1, Kind: Recv, Peer: 0, Bytes: 8}, {Rank: 1, Kind: Barrier, Peer: -1}},
+	})
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsMissingRecv(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{{Rank: 0, Kind: Send, Peer: 1, Bytes: 8}},
+		{},
+	})
+	if err := Validate(p); err == nil {
+		t.Fatal("expected send/recv mismatch error")
+	}
+}
+
+func TestValidateDetectsOrphanRecv(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{},
+		{{Rank: 1, Kind: Recv, Peer: 0, Bytes: 8}},
+	})
+	if err := Validate(p); err == nil {
+		t.Fatal("expected orphan recv error")
+	}
+}
+
+func TestValidateDetectsCollectiveImbalance(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{{Rank: 0, Kind: Barrier, Peer: -1}},
+		{},
+	})
+	if err := Validate(p); err == nil {
+		t.Fatal("expected collective imbalance error")
+	}
+}
+
+func TestValidateDetectsPeerOutOfRange(t *testing.T) {
+	p := NewMemProvider([][]Action{
+		{{Rank: 0, Kind: Send, Peer: 9, Bytes: 8}},
+	})
+	if err := Validate(p); err == nil {
+		t.Fatal("expected out-of-communicator error")
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if Send.String() != "send" || AllReduce.String() != "allreduce" {
+		t.Fatal("kind names wrong")
+	}
+	if !Send.HasPeer() || Barrier.HasPeer() {
+		t.Fatal("HasPeer wrong")
+	}
+	if !Bcast.IsCollective() || Compute.IsCollective() {
+		t.Fatal("IsCollective wrong")
+	}
+}

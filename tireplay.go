@@ -1,0 +1,330 @@
+// Package tireplay is an off-line simulator for MPI applications driven by
+// time-independent traces, reproducing "Improving the Accuracy and
+// Efficiency of Time-Independent Trace Replay" (Desprez, Markomanolis,
+// Suter — INRIA RR-8092, 2012).
+//
+// A time-independent trace records, per rank, only *volumes*: numbers of
+// instructions computed between MPI calls and bytes moved by each MPI call
+// — no timestamps. Such traces can be acquired on any machine (even several
+// heterogeneous ones) and replayed on a simulated target platform to
+// predict the application's execution time there.
+//
+// The package exposes the full tool chain:
+//
+//   - platform description (flat and hierarchical clusters, piece-wise
+//     linear network factor models);
+//   - the trace format: parsing, writing, validation, streaming;
+//   - two replay backends: the accurate SMPI-style backend
+//     (eager/rendezvous protocols, collectives as point-to-point trees) and
+//     the legacy MSG-style baseline the paper improves upon;
+//   - workload models of the NAS Parallel Benchmarks (LU, CG) that generate
+//     traces of any class/process count;
+//   - emulated ground-truth clusters (bordereau, graphene) and the
+//     instrumentation model used to study acquisition overheads;
+//   - the two calibration procedures (classic A-4 and cache-aware).
+//
+// Quick start:
+//
+//	plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+//		Name: "mycluster", Hosts: 8, Speed: 2e9,
+//		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+//		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+//	})
+//	prov, err := tireplay.LoadTraces("traces/lu_b8.desc", 8)
+//	res, err := tireplay.Replay(prov, plat, tireplay.ReplayConfig{})
+//	fmt.Printf("predicted time: %.2f s\n", res.SimulatedTime)
+package tireplay
+
+import (
+	"fmt"
+
+	"tireplay/internal/calibrate"
+	"tireplay/internal/core"
+	"tireplay/internal/ground"
+	"tireplay/internal/instrument"
+	"tireplay/internal/mpi"
+	"tireplay/internal/msgreplay"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/sim"
+	"tireplay/internal/trace"
+)
+
+// Core trace types.
+type (
+	// Action is one event of a time-independent trace.
+	Action = trace.Action
+	// ActionKind enumerates trace action types.
+	ActionKind = trace.Kind
+	// TraceProvider hands out per-rank action streams.
+	TraceProvider = trace.Provider
+	// TraceStream is a pull-based per-rank action source.
+	TraceStream = trace.Stream
+	// TraceStats summarizes trace volumes.
+	TraceStats = trace.Stats
+)
+
+// Platform and network types.
+type (
+	// Platform is a simulated execution platform.
+	Platform = platform.Platform
+	// ClusterSpec configures a single-switch cluster.
+	ClusterSpec = platform.FlatConfig
+	// HierClusterSpec configures a cabinet-based hierarchical cluster.
+	HierClusterSpec = platform.HierConfig
+	// NetworkSegment is one piece of a piece-wise-linear network model.
+	NetworkSegment = platform.Segment
+	// NetworkModel adjusts latency/bandwidth per message size.
+	NetworkModel = sim.NetworkModel
+	// PlatformSpec is the serializable platform description.
+	PlatformSpec = platform.Spec
+)
+
+// Replay types.
+type (
+	// ReplayConfig parameterizes a replay (backend, network model, MPI
+	// model knobs).
+	ReplayConfig = core.Config
+	// ReplayResult reports the simulated time and replay statistics.
+	ReplayResult = core.Result
+	// MPIModelConfig tunes the SMPI backend's communication model.
+	MPIModelConfig = mpi.ModelConfig
+	// MSGConfig tunes the legacy backend.
+	MSGConfig = msgreplay.Config
+)
+
+// Backend selection.
+const (
+	// SMPI is the accurate backend introduced by the paper (Section 3.3).
+	SMPI = core.SMPI
+	// MSG is the first-prototype baseline backend (Section 2.4).
+	MSG = core.MSG
+)
+
+// Workload types.
+type (
+	// Workload generates per-rank operation streams (LU, CG, or custom).
+	Workload = npb.Workload
+	// LU is the NAS LU benchmark model.
+	LU = npb.LU
+	// CG is the NAS CG benchmark model.
+	CG = npb.CG
+	// EP is the NAS EP benchmark model (compute-only extreme).
+	EP = npb.EP
+	// MG is the NAS MG benchmark model (multigrid V-cycles, 3D halos).
+	MG = npb.MG
+	// NPBClass is an NPB problem class (S, W, A, B, C, D).
+	NPBClass = npb.Class
+)
+
+// NPB classes.
+const (
+	ClassS = npb.ClassS
+	ClassW = npb.ClassW
+	ClassA = npb.ClassA
+	ClassB = npb.ClassB
+	ClassC = npb.ClassC
+	ClassD = npb.ClassD
+)
+
+// Ground-truth and acquisition types.
+type (
+	// GroundCluster is an emulated real cluster.
+	GroundCluster = ground.Cluster
+	// InstrumentationMode selects probe granularity.
+	InstrumentationMode = instrument.Mode
+	// AcquisitionConfig describes how a trace acquisition run is built and
+	// instrumented.
+	AcquisitionConfig = instrument.Config
+	// CacheAwareCalibration is the per-class rate table of Section 3.4.
+	CacheAwareCalibration = calibrate.CacheAware
+)
+
+// Instrumentation modes.
+const (
+	Uninstrumented         = instrument.None
+	CoarseInstrumentation  = instrument.Coarse
+	MinimalInstrumentation = instrument.Minimal
+	FineInstrumentation    = instrument.Fine
+)
+
+// CompileLevel is the optimization level of an acquisition build.
+type CompileLevel = instrument.Compile
+
+// Compile levels.
+const (
+	CompileO0 = instrument.O0
+	CompileO3 = instrument.O3
+)
+
+// Cluster builds a flat (single switch) cluster platform, optionally with a
+// piece-wise-linear network model built from segments.
+func Cluster(spec ClusterSpec, segments ...NetworkSegment) (*Platform, NetworkModel, error) {
+	p, err := platform.NewFlatCluster(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segments) == 0 {
+		return p, nil, nil
+	}
+	m, err := platform.NewPiecewiseModel(segments)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+// HierCluster builds a hierarchical (cabinet) cluster platform.
+func HierCluster(spec HierClusterSpec, segments ...NetworkSegment) (*Platform, NetworkModel, error) {
+	p, err := platform.NewHierarchicalCluster(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segments) == 0 {
+		return p, nil, nil
+	}
+	m, err := platform.NewPiecewiseModel(segments)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+// LoadPlatform reads a JSON platform description (the replay equivalent of
+// the paper's platform.xml) and builds it.
+func LoadPlatform(path string) (*Platform, NetworkModel, error) {
+	spec, err := platform.LoadSpec(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, m, err := spec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if m == nil {
+		return p, nil, nil
+	}
+	return p, m, nil
+}
+
+// LoadTraces opens a trace-description file (one trace file per line; a
+// single entry serves all nranks ranks from a merged trace, as in the
+// paper).
+func LoadTraces(descPath string, nranks int) (TraceProvider, error) {
+	return trace.LoadDescription(descPath, nranks)
+}
+
+// TracesInMemory wraps per-rank action slices as a provider.
+func TracesInMemory(perRank [][]Action) TraceProvider {
+	return trace.NewMemProvider(perRank)
+}
+
+// WriteTraces writes per-rank trace files plus a description file and
+// returns the description path.
+func WriteTraces(dir, prefix string, perRank [][]Action) (string, error) {
+	return trace.WriteSet(dir, prefix, perRank)
+}
+
+// WriteFoldedTraces is WriteTraces with loop-folded files: consecutively
+// repeated action blocks (an iterative application's time steps) are stored
+// once with a repetition count, typically shrinking traces by the iteration
+// count. LoadTraces expands folded files transparently.
+func WriteFoldedTraces(dir, prefix string, perRank [][]Action) (string, error) {
+	return trace.WriteFoldedSet(dir, prefix, perRank)
+}
+
+// ValidateTraces checks cross-rank consistency (matched sends/receives,
+// balanced collectives).
+func ValidateTraces(p TraceProvider) error {
+	return trace.Validate(p)
+}
+
+// CollectTraceStats summarizes the volumes of a trace; eagerThreshold
+// classifies point-to-point messages (64 KiB in the paper).
+func CollectTraceStats(p TraceProvider, eagerThreshold float64) (*TraceStats, error) {
+	return trace.Collect(p, eagerThreshold)
+}
+
+// Replay runs the trace on the platform and returns the predicted time.
+func Replay(prov TraceProvider, plat *Platform, cfg ReplayConfig) (*ReplayResult, error) {
+	return core.Replay(prov, plat, cfg)
+}
+
+// NewLU builds an LU workload instance; iterations 0 selects the class
+// default (250 for A/B/C).
+func NewLU(class NPBClass, procs, iterations int) (*LU, error) {
+	return npb.NewLU(class, procs, iterations)
+}
+
+// NewCG builds a CG workload instance.
+func NewCG(class NPBClass, procs, iterations int) (*CG, error) {
+	return npb.NewCG(class, procs, iterations)
+}
+
+// NewEP builds an EP workload instance.
+func NewEP(class NPBClass, procs int) (*EP, error) {
+	return npb.NewEP(class, procs)
+}
+
+// NewMG builds an MG workload instance.
+func NewMG(class NPBClass, procs, iterations int) (*MG, error) {
+	return npb.NewMG(class, procs, iterations)
+}
+
+// PerfectTrace exposes a workload's exact action streams (what a
+// distortion-free acquisition would record).
+func PerfectTrace(w Workload) TraceProvider {
+	return npb.AsProvider(w)
+}
+
+// AcquiredTrace exposes the trace an instrumented run of w would produce:
+// compute volumes carry the counter inflation of the chosen
+// instrumentation, exactly as in the paper's acquisition study.
+func AcquiredTrace(w Workload, cfg AcquisitionConfig) (TraceProvider, error) {
+	if cfg.Mode == instrument.None {
+		return nil, fmt.Errorf("tireplay: acquisition requires an instrumented build")
+	}
+	return instrument.Acquired{W: w, Cfg: cfg}, nil
+}
+
+// Bordereau returns the emulated model of the paper's aging Opteron
+// cluster.
+func Bordereau() *GroundCluster { return ground.Bordereau() }
+
+// Graphene returns the emulated model of the paper's Xeon cluster.
+func Graphene() *GroundCluster { return ground.Graphene() }
+
+// CalibrateClassic runs the first implementation's A-4 calibration and
+// returns the measured instruction rate.
+func CalibrateClassic(c *GroundCluster, iterations int) (float64, error) {
+	return calibrate.ClassicA4(c, iterations)
+}
+
+// CalibrateCacheAware runs the cache-aware calibration of Section 3.4 for
+// the given classes.
+func CalibrateCacheAware(c *GroundCluster, classes []NPBClass, iterations int) (*CacheAwareCalibration, error) {
+	return calibrate.NewCacheAware(c, classes, iterations)
+}
+
+// Materialize drains a provider into per-rank action slices (useful before
+// WriteTraces). Large instances are better streamed; see TraceProvider.
+func Materialize(p TraceProvider) ([][]Action, error) {
+	out := make([][]Action, p.NumRanks())
+	for rank := 0; rank < p.NumRanks(); rank++ {
+		st, err := p.Rank(rank)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			a, ok, err := st.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out[rank] = append(out[rank], a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package tireplay_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"tireplay"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	lu, err := tireplay.NewLU(tireplay.ClassS, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank, err := tireplay.Materialize(tireplay.PerfectTrace(lu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	desc, err := tireplay.WriteTraces(dir, "lu_s4", perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(desc) != dir {
+		t.Fatalf("desc path = %q", desc)
+	}
+	prov, err := tireplay.LoadTraces(desc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tireplay.ValidateTraces(prov); err != nil {
+		t.Fatal(err)
+	}
+	plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+		Name: "t", Hosts: 4, Speed: 2e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err = tireplay.LoadTraces(desc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tireplay.Replay(prov, plat, tireplay.ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedTime <= 0 || res.Actions == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFacadeAcquiredVsPerfect(t *testing.T) {
+	mk := func() tireplay.Workload {
+		lu, err := tireplay.NewLU(tireplay.ClassS, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lu
+	}
+	cluster := tireplay.Graphene()
+	acq, err := tireplay.AcquiredTrace(mk(), cluster.InstrConfig(
+		tireplay.FineInstrumentation, tireplay.CompileO0, tireplay.ClassS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAcq, err := tireplay.CollectTraceStats(acq, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPerf, err := tireplay.CollectTraceStats(tireplay.PerfectTrace(mk()), 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAcq.Instructions <= sPerf.Instructions {
+		t.Fatalf("fine acquisition %.4g not inflated vs perfect %.4g",
+			sAcq.Instructions, sPerf.Instructions)
+	}
+	if _, err := tireplay.AcquiredTrace(mk(), cluster.InstrConfig(
+		tireplay.Uninstrumented, tireplay.CompileO0, tireplay.ClassS)); err == nil {
+		t.Fatal("expected error for uninstrumented acquisition")
+	}
+}
+
+func TestFacadeBackendsDiffer(t *testing.T) {
+	run := func(cfg tireplay.ReplayConfig) float64 {
+		lu, err := tireplay.NewLU(tireplay.ClassS, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+			Name: "t", Hosts: 8, Speed: 2e9,
+			LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+			BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimulatedTime
+	}
+	smpi := run(tireplay.ReplayConfig{Backend: tireplay.SMPI})
+	msg := run(tireplay.ReplayConfig{
+		Backend: tireplay.MSG,
+		MSG:     tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+	})
+	if msg <= smpi {
+		t.Fatalf("MSG backend %v not slower than SMPI %v on a wavefront workload", msg, smpi)
+	}
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	cluster := tireplay.Bordereau()
+	classic, err := tireplay.CalibrateClassic(cluster, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic <= 0 {
+		t.Fatal("non-positive classic rate")
+	}
+	ca, err := tireplay.CalibrateCacheAware(cluster, []tireplay.NPBClass{tireplay.ClassB}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.ARate <= 0 || ca.ClassRates[tireplay.ClassB] >= ca.ARate {
+		t.Fatalf("cache-aware rates = %+v", ca)
+	}
+}
+
+func TestFacadePlatformSpecRoundTrip(t *testing.T) {
+	plat, model, err := tireplay.HierCluster(tireplay.HierClusterSpec{
+		Name: "h", Cabinets: 2, HostsPerCabinet: 4, Speed: 1e9,
+		LinkBandwidth: 1e9, LinkLatency: 1e-5,
+		CabinetBandwidth: 1e10, CabinetLatency: 1e-6,
+		BackboneBandwidth: 1e10, BackboneLatency: 1e-6,
+	}, tireplay.NetworkSegment{MaxBytes: math.MaxFloat64, LatFactor: 1, BwFactor: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat.Size() != 8 || model == nil {
+		t.Fatalf("platform = %d hosts, model = %v", plat.Size(), model)
+	}
+}
