@@ -151,7 +151,7 @@ func BenchmarkReplayEngineSMPI(b *testing.B) {
 func BenchmarkReplayEngineMSG(b *testing.B) {
 	replayBench(b, tireplay.ReplayConfig{
 		Backend: tireplay.MSG,
-		MSG:     tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+		MSG:     tireplay.MSGPrototypeConfig(),
 	})
 }
 

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7] [-iters N] [-full]
+//	experiments [-run all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sweep] \
+//	    [-iters N] [-full] [-workers N]
+//
+// The sweep experiment replays the whole {LU, CG} x classes x procs x
+// backend grid as a declarative scenario batch on a worker pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +23,10 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, table1, table2, fig1..fig7, ablation, memcpy")
+	runFlag := flag.String("run", "all", "experiment to run: all, table1, table2, fig1..fig7, ablation, memcpy, decoupling, efficiency, sweep")
 	iters := flag.Int("iters", 25, "SSOR iterations per emulated run (reduced; times are scaled to the class itmax)")
 	full := flag.Bool("full", false, "use the full NPB iteration counts (slow)")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
 	opt := experiments.Options{Iterations: *iters}
@@ -28,13 +34,13 @@ func main() {
 		opt.Iterations = 250
 	}
 
-	if err := run(*runFlag, opt); err != nil {
+	if err := run(*runFlag, opt, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, opt experiments.Options) error {
+func run(which string, opt experiments.Options, workers int) error {
 	bordereau := ground.Bordereau()
 	graphene := ground.Graphene()
 	classes := experiments.StudyClasses
@@ -147,10 +153,23 @@ func run(which string, opt experiments.Options) error {
 		experiments.RenderEfficiency(os.Stdout, "Efficiency (extension): replay cost per backend and scale, graphene platform", rows)
 		fmt.Println()
 	}
+	if all || which == "sweep" {
+		rows, err := experiments.Sweep(context.Background(), graphene,
+			experiments.StudyClasses, experiments.GrapheneProcs, workers, opt,
+			func(done, total int, name string) {
+				fmt.Fprintf(os.Stderr, "sweep [%d/%d] %s\n", done, total, name)
+			})
+		if err != nil {
+			return err
+		}
+		experiments.RenderSweep(os.Stdout,
+			"Sweep (extension): {LU,CG} x classes x procs x backends batch on the worker pool, graphene platform", rows)
+		fmt.Println()
+	}
 	if !all {
 		switch which {
 		case "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"ablation", "memcpy", "decoupling", "efficiency":
+			"ablation", "memcpy", "decoupling", "efficiency", "sweep":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

@@ -1,16 +1,22 @@
-// Command tireplay replays a time-independent trace on a simulated platform
-// and prints the predicted execution time — the equivalent of the paper's
+// Command tireplay replays time-independent traces on simulated platforms
+// and prints the predicted execution times — the equivalent of the paper's
 //
 //	smpirun -np 8 -hostfile hostfile -platform platform.xml \
 //	    ./smpi_replay trace_description
 //
-// Usage:
+// Single-scenario usage:
 //
 //	tireplay -desc traces/lu_b8.desc -np 8 -platform platform.json \
 //	    [-backend smpi|msg] [-speed 2.5e9] [-validate]
+//
+// Batch usage — a JSON array of scenario descriptions replayed on a worker
+// pool (each simulation is single-threaded; scenarios run concurrently):
+//
+//	tireplay -scenarios sweep.json [-workers 4] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,59 +28,94 @@ func main() {
 	desc := flag.String("desc", "", "trace description file (one trace file per rank, or a single merged trace)")
 	np := flag.Int("np", 0, "number of ranks (required with a merged trace; otherwise inferred)")
 	platPath := flag.String("platform", "", "platform description (JSON)")
-	backend := flag.String("backend", "smpi", "replay backend: smpi (accurate) or msg (legacy prototype)")
+	backend := flag.String("backend", "smpi", "replay backend: one of "+fmt.Sprint(tireplay.Backends()))
 	speed := flag.Float64("speed", 0, "override host compute rate (instructions/s), e.g. a calibrated value")
 	validate := flag.Bool("validate", false, "cross-validate the trace before replaying")
-	verbose := flag.Bool("v", false, "print engine statistics")
+	scenarios := flag.String("scenarios", "", "JSON scenario batch file; replaces -desc/-platform")
+	workers := flag.Int("workers", 0, "batch worker-pool size (0 = all CPUs)")
+	verbose := flag.Bool("v", false, "print engine statistics / batch progress")
 	flag.Parse()
 
+	if *scenarios != "" {
+		runBatch(*scenarios, *workers, *verbose)
+		return
+	}
+
 	if *desc == "" || *platPath == "" {
-		fmt.Fprintln(os.Stderr, "tireplay: -desc and -platform are required")
+		fmt.Fprintln(os.Stderr, "tireplay: -desc and -platform are required (or use -scenarios)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	plat, model, err := tireplay.LoadPlatform(*platPath)
+	s := &tireplay.Scenario{
+		PlatformFile:  *platPath,
+		TraceDesc:     *desc,
+		Ranks:         *np,
+		Backend:       *backend,
+		HostSpeed:     *speed,
+		ValidateTrace: *validate,
+	}
+	if *backend == tireplay.MSG {
+		// The prototype's crude hard-coded network reference figures, and
+		// no piece-wise factors even if the platform declares them.
+		s.MSG = tireplay.MSGPrototypeConfig()
+		s.NoNetworkFactors = true
+	}
+
+	res, err := s.Run(context.Background())
 	fatal(err)
-	n := *np
-	if n == 0 {
-		n = plat.Size()
-	}
-	if *speed > 0 {
-		plat.SetSpeed(*speed)
-	}
 
 	if *validate {
-		prov, err := tireplay.LoadTraces(*desc, n)
-		fatal(err)
-		fatal(tireplay.ValidateTraces(prov))
 		fmt.Println("trace validated: sends/receives matched, collectives balanced")
 	}
-
-	prov, err := tireplay.LoadTraces(*desc, n)
-	fatal(err)
-
-	cfg := tireplay.ReplayConfig{Network: model}
-	switch *backend {
-	case "smpi":
-		cfg.Backend = tireplay.SMPI
-	case "msg":
-		cfg.Backend = tireplay.MSG
-		cfg.Network = nil // the prototype had no piece-wise factors
-		cfg.MSG = tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8}
-	default:
-		fatal(fmt.Errorf("unknown backend %q (want smpi or msg)", *backend))
-	}
-
-	res, err := tireplay.Replay(prov, plat, cfg)
-	fatal(err)
-
 	fmt.Printf("simulated time: %.6f s\n", res.SimulatedTime)
 	fmt.Printf("replayed %d actions in %v (%.0f actions/s)\n",
 		res.Actions, res.Wall, res.ActionsPerSecond())
 	if *verbose {
 		fmt.Printf("engine: %+v\n", res.Engine)
 	}
+}
+
+func runBatch(path string, workers int, verbose bool) {
+	batch, err := tireplay.LoadScenarios(path)
+	fatal(err)
+
+	var opts []tireplay.RunnerOption
+	if workers > 0 {
+		opts = append(opts, tireplay.WithWorkers(workers))
+	}
+	if verbose {
+		opts = append(opts, tireplay.WithObserver(func(ev tireplay.RunnerEvent) {
+			if ev.Kind == tireplay.ScenarioFinished {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", ev.Done, ev.Total, name(ev.Result))
+			}
+		}))
+	}
+
+	results, err := tireplay.RunScenarios(context.Background(), batch, opts...)
+	fatal(err)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-24s ERROR: %v\n", name(r), r.Err)
+			continue
+		}
+		fmt.Printf("%-24s simulated %10.6f s   (%d actions in %v)\n",
+			name(r), r.Replay.SimulatedTime, r.Replay.Actions, r.Replay.Wall)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tireplay: %d of %d scenarios failed\n", failed, len(results))
+		os.Exit(1)
+	}
+}
+
+func name(r tireplay.ScenarioResult) string {
+	if r.Scenario.Name != "" {
+		return r.Scenario.Name
+	}
+	return fmt.Sprintf("scenario %d", r.Index)
 }
 
 func fatal(err error) {

@@ -5,80 +5,90 @@
 // tightly coupled wavefront vs CG's reduction-heavy iterations — entirely
 // on the local machine, and also shows how the legacy MSG backend distorts
 // the picture.
+//
+// The whole study is one declarative scenario batch: {LU, CG} x process
+// counts plus the two backend variants, replayed concurrently on a worker
+// pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"tireplay"
 )
 
+func platSpec(n int) *tireplay.PlatformSpec {
+	return &tireplay.PlatformSpec{
+		Name: "class", Topology: "flat", Hosts: n, Speed: 2.5e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2.5e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	}
+}
+
 func main() {
 	fmt.Println("Strong scaling study, simulated on one node")
 	fmt.Println()
 
-	plat := func(n int) *tireplay.Platform {
-		p, _, err := tireplay.Cluster(tireplay.ClusterSpec{
-			Name: "class", Hosts: n, Speed: 2.5e9,
-			LinkBandwidth: 1.25e8, LinkLatency: 2.5e-5,
-			BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	// Lesson one: strong scaling. Declare the {LU, CG} x procs grid.
+	counts := []int{1, 2, 4, 8, 16, 32}
+	var scenarios []*tireplay.Scenario
+	for _, n := range counts {
+		scenarios = append(scenarios,
+			&tireplay.Scenario{
+				Name:     fmt.Sprintf("lu-%d", n),
+				Platform: platSpec(n),
+				Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "A", Procs: n, Iterations: 10},
+			},
+			&tireplay.Scenario{
+				Name:     fmt.Sprintf("cg-%d", n),
+				Platform: platSpec(n),
+				Workload: &tireplay.WorkloadSpec{Benchmark: "cg", Class: "A", Procs: n, Iterations: 2},
+			})
+	}
+	// Lesson two: the backend matters. The same LU A-16 workload under the
+	// accurate SMPI backend and the crude MSG prototype, in the same batch.
+	luA16 := &tireplay.WorkloadSpec{Benchmark: "lu", Class: "A", Procs: 16, Iterations: 10}
+	scenarios = append(scenarios,
+		&tireplay.Scenario{
+			Name: "lu-16-smpi", Platform: platSpec(16), Workload: luA16,
+			Backend: "smpi",
+		},
+		&tireplay.Scenario{
+			Name: "lu-16-msg", Platform: platSpec(16), Workload: luA16,
+			Backend: "msg",
+			MSG:     tireplay.MSGPrototypeConfig(),
 		})
-		if err != nil {
-			log.Fatal(err)
+
+	results, err := tireplay.RunScenarios(context.Background(), scenarios,
+		tireplay.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	byName := make(map[string]*tireplay.ReplayResult, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		return p
+		byName[r.Scenario.Name] = r.Replay
 	}
 
 	fmt.Printf("%6s | %12s %10s | %12s %10s\n", "procs", "LU A (s)", "speedup", "CG A (s)", "speedup")
 	fmt.Println("--------------------------------------------------------------")
-	var luBase, cgBase float64
-	for _, n := range []int{1, 2, 4, 8, 16, 32} {
-		lu, err := tireplay.NewLU(tireplay.ClassA, n, 10)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cg, err := tireplay.NewCG(tireplay.ClassA, n, 2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		luRes, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat(n), tireplay.ReplayConfig{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cgRes, err := tireplay.Replay(tireplay.PerfectTrace(cg), plat(n), tireplay.ReplayConfig{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if n == 1 {
-			luBase, cgBase = luRes.SimulatedTime, cgRes.SimulatedTime
-		}
+	luBase := byName["lu-1"].SimulatedTime
+	cgBase := byName["cg-1"].SimulatedTime
+	for _, n := range counts {
+		lu := byName[fmt.Sprintf("lu-%d", n)].SimulatedTime
+		cg := byName[fmt.Sprintf("cg-%d", n)].SimulatedTime
 		fmt.Printf("%6d | %12.3f %9.2fx | %12.3f %9.2fx\n",
-			n, luRes.SimulatedTime, luBase/luRes.SimulatedTime,
-			cgRes.SimulatedTime, cgBase/cgRes.SimulatedTime)
+			n, lu, luBase/lu, cg, cgBase/cg)
 	}
 
-	// Lesson two: the backend matters. Replay the same LU A-16 trace with
-	// the accurate SMPI backend and the crude MSG prototype.
 	fmt.Println()
-	lu, err := tireplay.NewLU(tireplay.ClassA, 16, 10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	smpi, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat(16), tireplay.ReplayConfig{Backend: tireplay.SMPI})
-	if err != nil {
-		log.Fatal(err)
-	}
-	lu, _ = tireplay.NewLU(tireplay.ClassA, 16, 10)
-	msg, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat(16), tireplay.ReplayConfig{
-		Backend: tireplay.MSG,
-		MSG:     tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	smpi := byName["lu-16-smpi"].SimulatedTime
+	msg := byName["lu-16-msg"].SimulatedTime
 	fmt.Printf("same LU A-16 trace: SMPI backend %.3f s, legacy MSG backend %.3f s (%+.1f%%)\n",
-		smpi.SimulatedTime, msg.SimulatedTime,
-		100*(msg.SimulatedTime-smpi.SimulatedTime)/smpi.SimulatedTime)
+		smpi, msg, 100*(msg-smpi)/smpi)
 	fmt.Println("the MSG prototype cannot model eager-mode overlap, so it overestimates")
 }

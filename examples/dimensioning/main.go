@@ -1,12 +1,17 @@
 // Dimensioning: the use case the paper's introduction motivates — "when a
 // platform is yet to be specified and purchased, simulations can be used to
 // determine a cost-effective hardware configuration appropriate for the
-// expected application workload". One LU C-32 trace is replayed on a grid
-// of hypothetical platforms (CPU speed x network generation) to find the
-// cheapest configuration meeting a time budget.
+// expected application workload". One LU C-32 workload is replayed on a
+// grid of hypothetical platforms (CPU speed x network generation) to find
+// the cheapest configuration meeting a time budget.
+//
+// The grid is declared as a batch of scenarios and executed concurrently on
+// a worker pool: each replay is single-threaded and independent, so the
+// sweep parallelizes perfectly while every prediction stays deterministic.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,12 +32,13 @@ type network struct {
 	price    float64 // per node, arbitrary units
 }
 
-func main() {
-	lu, err := tireplay.NewLU(tireplay.ClassC, procs, iters)
-	if err != nil {
-		log.Fatal(err)
-	}
+type candidate struct {
+	network network
+	cpuName string
+	price   float64
+}
 
+func main() {
 	networks := []network{
 		{"1 GbE", 1.25e8, 3.0e-5, 1.25e9, 1.0},
 		{"10 GbE", 1.25e9, 1.2e-5, 1.25e10, 2.5},
@@ -48,37 +54,57 @@ func main() {
 		{"3.3 GHz", 3.3e9, 6},
 	}
 
-	fmt.Printf("LU C-%d, %d iterations, budget %.1f s\n\n", procs, iters, timeBudget)
+	// Declare the whole candidate grid as scenarios.
+	var scenarios []*tireplay.Scenario
+	var candidates []candidate
+	for _, nw := range networks {
+		for _, cpu := range speeds {
+			scenarios = append(scenarios, &tireplay.Scenario{
+				Name: nw.name + " + " + cpu.name,
+				Platform: &tireplay.PlatformSpec{
+					Name: "candidate", Topology: "flat", Hosts: procs, Speed: cpu.rate,
+					LinkBandwidth: nw.linkBw, LinkLatency: nw.linkLat,
+					BackboneBandwidth: nw.backbone, BackboneLatency: 1e-6,
+				},
+				Workload: &tireplay.WorkloadSpec{
+					Benchmark: "lu", Class: "C", Procs: procs, Iterations: iters,
+				},
+			})
+			candidates = append(candidates, candidate{
+				network: nw,
+				cpuName: cpu.name,
+				price:   float64(procs) * (nw.price + cpu.price),
+			})
+		}
+	}
+
+	// Replay the grid on 4 workers; results come back in input order.
+	results, err := tireplay.RunScenarios(context.Background(), scenarios,
+		tireplay.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LU C-%d, %d iterations, budget %.1f s (grid of %d candidates on 4 workers)\n\n",
+		procs, iters, timeBudget, len(scenarios))
 	fmt.Printf("%-10s | %-8s | %9s | %7s | %s\n", "network", "cpu", "predicted", "price", "verdict")
 	fmt.Println("------------------------------------------------------------")
 
 	bestPrice, bestDesc := 0.0, ""
-	for _, nw := range networks {
-		for _, cpu := range speeds {
-			plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
-				Name: "candidate", Hosts: procs, Speed: cpu.rate,
-				LinkBandwidth: nw.linkBw, LinkLatency: nw.linkLat,
-				BackboneBandwidth: nw.backbone, BackboneLatency: 1e-6,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat,
-				tireplay.ReplayConfig{Backend: tireplay.SMPI})
-			if err != nil {
-				log.Fatal(err)
-			}
-			price := float64(procs) * (nw.price + cpu.price)
-			verdict := "over budget"
-			if res.SimulatedTime <= timeBudget {
-				verdict = "OK"
-				if bestDesc == "" || price < bestPrice {
-					bestPrice, bestDesc = price, nw.name+" + "+cpu.name
-				}
-			}
-			fmt.Printf("%-10s | %-8s | %8.2fs | %7.0f | %s\n",
-				nw.name, cpu.name, res.SimulatedTime, price, verdict)
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
+		c := candidates[i]
+		verdict := "over budget"
+		if r.Replay.SimulatedTime <= timeBudget {
+			verdict = "OK"
+			if bestDesc == "" || c.price < bestPrice {
+				bestPrice, bestDesc = c.price, r.Scenario.Name
+			}
+		}
+		fmt.Printf("%-10s | %-8s | %8.2fs | %7.0f | %s\n",
+			c.network.name, c.cpuName, r.Replay.SimulatedTime, c.price, verdict)
 	}
 	if bestDesc == "" {
 		fmt.Println("\nno configuration meets the budget")

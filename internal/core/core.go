@@ -1,11 +1,14 @@
 // Package core is the time-independent trace replay engine: it drives
-// per-rank action streams through one of the two simulation backends the
-// paper compares — the rewritten SMPI backend (Section 3.3) and the original
-// MSG prototype (Section 2.4) — and reports the simulated execution time.
+// per-rank action streams through a replay backend — the rewritten SMPI
+// backend (Section 3.3) or the original MSG prototype (Section 2.4) the
+// paper compares, or any backend plugged in via Register — and reports the
+// simulated execution time.
 //
 // Replaying a trace amounts to what the paper's smpi_replay main does:
 // initialize, run every rank's action stream to completion, finalize, and
-// read the simulated clock.
+// read the simulated clock. All backends share one driver loop (driver.go)
+// over the RankOps interface (backend.go); malformed traces surface as
+// structured *TraceError values rather than panics.
 package core
 
 import (
@@ -19,32 +22,25 @@ import (
 	"tireplay/internal/trace"
 )
 
-// BackendKind selects the replay implementation.
-type BackendKind int
+// BackendKind names a registered replay backend. It is a string alias so
+// the built-in constants below, scenario specs, and CLI flags all use the
+// same vocabulary.
+type BackendKind = string
 
 const (
 	// SMPI is the rewritten backend: eager/rendezvous point-to-point
 	// protocols, piece-wise-linear network factors, collectives as trees of
 	// point-to-point messages.
-	SMPI BackendKind = iota
+	SMPI BackendKind = "smpi"
 	// MSG is the first-prototype backend: asynchronous sends for small
 	// messages, factor-free network, monolithic collectives.
-	MSG
+	MSG BackendKind = "msg"
 )
-
-func (b BackendKind) String() string {
-	switch b {
-	case SMPI:
-		return "smpi"
-	case MSG:
-		return "msg"
-	}
-	return fmt.Sprintf("BackendKind(%d)", int(b))
-}
 
 // Config parameterizes a replay.
 type Config struct {
-	// Backend selects the replay implementation (default SMPI).
+	// Backend names the replay implementation; "" selects SMPI. Any name
+	// registered via Register is accepted.
 	Backend BackendKind
 	// Network is the network model installed in the kernel; nil selects the
 	// factor-free default. The SMPI pipeline passes the platform's
@@ -83,7 +79,8 @@ func (r *Result) ActionsPerSecond() float64 {
 }
 
 // Replay runs every rank of prov on plat under cfg and returns the
-// simulated time.
+// simulated time. Malformed traces are reported as errors wrapping a
+// *TraceError; a trace that deadlocks surfaces the kernel's DeadlockError.
 func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, error) {
 	n := prov.NumRanks()
 	if n <= 0 {
@@ -101,40 +98,28 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 		return nil, fmt.Errorf("core: host mapping has %d entries for %d ranks", len(hosts), n)
 	}
 
+	backend, err := Lookup(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+
 	var opts []sim.Option
 	if cfg.Network != nil {
 		opts = append(opts, sim.WithNetworkModel(cfg.Network))
 	}
 	engine := sim.NewEngine(plat, opts...)
 
-	var actions int64 // engine is single-threaded (lockstep), plain counter is safe
-	switch cfg.Backend {
-	case SMPI:
-		world, err := mpi.NewWorld(engine, hosts, cfg.MPI)
+	world, err := backend.NewWorld(engine, hosts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var actions int64
+	for rank := 0; rank < n; rank++ {
+		stream, err := prov.Rank(rank)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: opening stream for rank %d: %w", rank, err)
 		}
-		for rank := 0; rank < n; rank++ {
-			stream, err := prov.Rank(rank)
-			if err != nil {
-				return nil, fmt.Errorf("core: opening stream for rank %d: %w", rank, err)
-			}
-			spawnSMPI(world, rank, stream, &actions)
-		}
-	case MSG:
-		world, err := msgreplay.NewWorld(engine, hosts, cfg.MSG)
-		if err != nil {
-			return nil, err
-		}
-		for rank := 0; rank < n; rank++ {
-			stream, err := prov.Rank(rank)
-			if err != nil {
-				return nil, fmt.Errorf("core: opening stream for rank %d: %w", rank, err)
-			}
-			spawnMSG(world, rank, stream, &actions)
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown backend %v", cfg.Backend)
+		spawnRank(world, backend.Name(), rank, stream, &actions)
 	}
 
 	start := time.Now()
@@ -147,119 +132,4 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 		Wall:          time.Since(start),
 		Engine:        engine.Stats(),
 	}, nil
-}
-
-// spawnSMPI drives one rank's stream through the SMPI backend. Nonblocking
-// operations are queued and consumed FIFO by wait/waitall, matching how the
-// trace acquisition records MPI_Wait on the oldest outstanding request.
-func spawnSMPI(world *mpi.World, rank int, stream trace.Stream, actions *int64) {
-	world.Spawn(rank, func(r *mpi.Rank) {
-		var pending []*mpi.Request
-		for {
-			a, ok, err := stream.Next()
-			if err != nil {
-				panic(fmt.Errorf("rank %d: %w", rank, err))
-			}
-			if !ok {
-				return
-			}
-			*actions++
-			switch a.Kind {
-			case trace.Init, trace.Finalize:
-				// Structural markers: no simulated cost.
-			case trace.Compute:
-				r.Compute(a.Instructions)
-			case trace.Send:
-				r.Send(a.Peer, a.Bytes)
-			case trace.ISend:
-				pending = append(pending, r.Isend(a.Peer, a.Bytes))
-			case trace.Recv:
-				r.Recv(a.Peer)
-			case trace.IRecv:
-				pending = append(pending, r.Irecv(a.Peer))
-			case trace.Wait:
-				if len(pending) == 0 {
-					panic(fmt.Errorf("rank %d: wait with no outstanding request", rank))
-				}
-				r.Wait(pending[0])
-				pending = pending[1:]
-			case trace.WaitAll:
-				r.WaitAll(pending)
-				pending = pending[:0]
-			case trace.Barrier:
-				r.Barrier()
-			case trace.Bcast:
-				r.Bcast(a.Bytes, a.Root)
-			case trace.Reduce:
-				r.Reduce(a.Bytes, a.Root)
-			case trace.AllReduce:
-				r.AllReduce(a.Bytes)
-			case trace.AllToAll:
-				r.AllToAll(a.Bytes)
-			case trace.Gather:
-				r.Gather(a.Bytes, a.Root)
-			case trace.AllGather:
-				r.AllGather(a.Bytes)
-			default:
-				panic(fmt.Errorf("rank %d: unsupported action %v", rank, a.Kind))
-			}
-		}
-	})
-}
-
-// spawnMSG drives one rank's stream through the legacy MSG backend.
-func spawnMSG(world *msgreplay.World, rank int, stream trace.Stream, actions *int64) {
-	world.Spawn(rank, func(r *msgreplay.Rank) {
-		var pending []*sim.Comm
-		for {
-			a, ok, err := stream.Next()
-			if err != nil {
-				panic(fmt.Errorf("rank %d: %w", rank, err))
-			}
-			if !ok {
-				return
-			}
-			*actions++
-			switch a.Kind {
-			case trace.Init, trace.Finalize:
-			case trace.Compute:
-				r.Compute(a.Instructions)
-			case trace.Send:
-				r.Send(a.Peer, a.Bytes)
-			case trace.ISend:
-				pending = append(pending, r.Isend(a.Peer, a.Bytes))
-			case trace.Recv:
-				r.Recv(a.Peer)
-			case trace.IRecv:
-				pending = append(pending, r.Irecv(a.Peer))
-			case trace.Wait:
-				if len(pending) == 0 {
-					panic(fmt.Errorf("rank %d: wait with no outstanding request", rank))
-				}
-				r.Wait(pending[0])
-				pending = pending[1:]
-			case trace.WaitAll:
-				for _, c := range pending {
-					r.Wait(c)
-				}
-				pending = pending[:0]
-			case trace.Barrier:
-				r.Barrier()
-			case trace.Bcast:
-				r.Bcast(a.Bytes, a.Root)
-			case trace.Reduce:
-				r.Reduce(a.Bytes, a.Root)
-			case trace.AllReduce:
-				r.AllReduce(a.Bytes)
-			case trace.AllToAll:
-				r.AllToAll(a.Bytes)
-			case trace.Gather:
-				r.Gather(a.Bytes, a.Root)
-			case trace.AllGather:
-				r.AllGather(a.Bytes)
-			default:
-				panic(fmt.Errorf("rank %d: unsupported action %v", rank, a.Kind))
-			}
-		}
-	})
 }

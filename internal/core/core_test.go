@@ -228,7 +228,7 @@ func TestReplayErrors(t *testing.T) {
 	}
 	// Unknown backend.
 	prov = provFromText(t, "p0 compute 1\n")
-	if _, err := Replay(prov, plat, Config{Backend: BackendKind(42)}); err == nil {
+	if _, err := Replay(prov, plat, Config{Backend: "no-such-backend"}); err == nil {
 		t.Error("expected error for unknown backend")
 	}
 }
@@ -266,8 +266,8 @@ func TestResultThroughput(t *testing.T) {
 	}
 }
 
-func TestBackendKindString(t *testing.T) {
-	if SMPI.String() != "smpi" || MSG.String() != "msg" {
+func TestBackendNames(t *testing.T) {
+	if SMPI != "smpi" || MSG != "msg" {
 		t.Fatal("backend names wrong")
 	}
 }

@@ -1,0 +1,115 @@
+package core
+
+// This file is the one rank-driver loop shared by every backend: it pulls
+// actions off a rank's trace stream and issues them through RankOps. It
+// replaces the two copy-pasted per-backend loops of the original design and
+// reports malformed traces as structured errors instead of panicking.
+
+import (
+	"errors"
+	"fmt"
+
+	"tireplay/internal/trace"
+)
+
+// Sentinel causes of trace replay failures, matchable with errors.Is.
+var (
+	// ErrNoOutstandingRequest reports a wait action with no nonblocking
+	// operation left to wait on.
+	ErrNoOutstandingRequest = errors.New("wait with no outstanding request")
+	// ErrUnsupportedAction reports an action kind the driver cannot replay.
+	ErrUnsupportedAction = errors.New("unsupported action kind")
+)
+
+// TraceError reports a malformed trace detected while replaying one rank.
+// It is surfaced through Replay (and hence Scenario.Run) wrapped, so callers
+// can match it with errors.As and its cause with errors.Is.
+type TraceError struct {
+	// Backend is the name of the backend that was replaying.
+	Backend string
+	// Rank is the rank whose stream was malformed.
+	Rank int
+	// Kind is the offending action kind, when the failure is tied to one.
+	Kind trace.Kind
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("%s replay, rank %d, action %q: %v", e.Backend, e.Rank, e.Kind, e.Err)
+}
+
+func (e *TraceError) Unwrap() error { return e.Err }
+
+// spawnRank starts rank's replay process on world: the shared driver loop
+// runs the stream to completion and aborts the whole simulation with a
+// structured error on a malformed trace.
+func spawnRank(world World, backend string, rank int, stream trace.Stream, actions *int64) {
+	world.Spawn(rank, func(ops RankOps) {
+		if err := driveRank(ops, rank, stream, actions); err != nil {
+			var te *TraceError
+			if errors.As(err, &te) && te.Backend == "" {
+				te.Backend = backend
+			}
+			ops.Proc().Fail(err)
+		}
+	})
+}
+
+// driveRank replays one rank's action stream through ops. Nonblocking
+// operations are queued and consumed FIFO by wait/waitall, matching how the
+// trace acquisition records MPI_Wait on the oldest outstanding request.
+func driveRank(ops RankOps, rank int, stream trace.Stream, actions *int64) error {
+	var pending []Request
+	for {
+		a, ok, err := stream.Next()
+		if err != nil {
+			return &TraceError{Rank: rank, Err: fmt.Errorf("reading stream: %w", err)}
+		}
+		if !ok {
+			return nil
+		}
+		// The engine is single-threaded (lockstep), so the shared counter
+		// needs no synchronization.
+		*actions++
+		switch a.Kind {
+		case trace.Init, trace.Finalize:
+			// Structural markers: no simulated cost.
+		case trace.Compute:
+			ops.Compute(a.Instructions)
+		case trace.Send:
+			ops.Send(a.Peer, a.Bytes)
+		case trace.ISend:
+			pending = append(pending, ops.Isend(a.Peer, a.Bytes))
+		case trace.Recv:
+			ops.Recv(a.Peer)
+		case trace.IRecv:
+			pending = append(pending, ops.Irecv(a.Peer))
+		case trace.Wait:
+			if len(pending) == 0 {
+				return &TraceError{Rank: rank, Kind: a.Kind, Err: ErrNoOutstandingRequest}
+			}
+			ops.Wait(pending[0])
+			pending = pending[1:]
+		case trace.WaitAll:
+			ops.WaitAll(pending)
+			pending = pending[:0]
+		case trace.Barrier:
+			ops.Barrier()
+		case trace.Bcast:
+			ops.Bcast(a.Bytes, a.Root)
+		case trace.Reduce:
+			ops.Reduce(a.Bytes, a.Root)
+		case trace.AllReduce:
+			ops.AllReduce(a.Bytes)
+		case trace.AllToAll:
+			ops.AllToAll(a.Bytes)
+		case trace.Gather:
+			ops.Gather(a.Bytes, a.Root)
+		case trace.AllGather:
+			ops.AllGather(a.Bytes)
+		default:
+			return &TraceError{Rank: rank, Kind: a.Kind, Err: ErrUnsupportedAction}
+		}
+	}
+}

@@ -125,7 +125,7 @@ func AccuracyWithConfig(c *ground.Cluster, pcfg PipelineConfig, class npb.Class,
 	} else {
 		cfg = core.Config{
 			Backend: core.MSG,
-			MSG:     msgreplay.Config{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+			MSG:     msgreplay.PrototypeConfig(),
 		}
 	}
 	res, err := core.Replay(prov, plat, cfg)

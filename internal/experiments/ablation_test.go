@@ -45,6 +45,9 @@ func TestAccuracyWithConfigMatchesPipelines(t *testing.T) {
 }
 
 func TestAblationBackendDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	// At 64 processes the backend swap must provide the bulk of the
 	// improvement: |error(old+smpi)| << |error(baseline)|.
 	c := ground.Bordereau()
@@ -63,6 +66,9 @@ func TestAblationBackendDominates(t *testing.T) {
 }
 
 func TestFutureWorkMemcpyCompensates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	// Section 6's prediction: modelling the copy compensates the
 	// underestimation — the with-memcpy error must be algebraically larger
 	// (less negative) than without.

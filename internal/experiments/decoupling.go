@@ -149,7 +149,7 @@ func Efficiency(target *ground.Cluster, class npb.Class, procs []int, opt Option
 				cfg.Network = model
 				cfg.MPI = target.MPI
 			} else {
-				cfg.MSG = msgreplay.Config{RefLatency: 6.5e-5, RefBandwidth: 1.25e8}
+				cfg.MSG = msgreplay.PrototypeConfig()
 			}
 			res, err := core.Replay(npb.AsProvider(lu), plat, cfg)
 			if err != nil {
@@ -157,7 +157,7 @@ func Efficiency(target *ground.Cluster, class npb.Class, procs []int, opt Option
 			}
 			row := EfficiencyRow{
 				Instance:         fmt.Sprintf("%s-%d", class, p),
-				Backend:          backend.String(),
+				Backend:          backend,
 				Sim:              res.SimulatedTime,
 				Wall:             res.Wall.Seconds(),
 				Actions:          res.Actions,

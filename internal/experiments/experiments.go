@@ -303,7 +303,7 @@ func accuracyOne(c *ground.Cluster, pipe Pipeline, class npb.Class, p int,
 		cfg = core.Config{
 			Backend: core.MSG,
 			// The MSG prototype's crude hard-coded network reference.
-			MSG: msgreplay.Config{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+			MSG: msgreplay.PrototypeConfig(),
 		}
 	} else {
 		plat.SetSpeed(cacheAware.RateFor(lu, class))

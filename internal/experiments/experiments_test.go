@@ -16,6 +16,9 @@ import (
 var fastOpt = Options{Iterations: 5, CalibrationIterations: 3}
 
 func TestTableOverheadShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	rows, err := TableOverhead(ground.Bordereau(), []npb.Class{npb.ClassB}, []int{8, 64}, fastOpt)
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +84,9 @@ func TestDiscrepancyShapes(t *testing.T) {
 }
 
 func TestFigure3OldPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	rows, err := FigureAccuracy(ground.Bordereau(), OldPipeline,
 		[]npb.Class{npb.ClassB, npb.ClassC}, []int{8, 64}, fastOpt)
 	if err != nil {
@@ -112,6 +118,9 @@ func TestFigure3OldPipelineShape(t *testing.T) {
 }
 
 func TestFigure6And7NewPipelineBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	for _, tc := range []struct {
 		cluster *ground.Cluster
 		procs   []int
@@ -135,6 +144,9 @@ func TestFigure6And7NewPipelineBounded(t *testing.T) {
 }
 
 func TestNewPipelineBeatsOldAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	// The crossover claim: at 64 processes the new pipeline must be far
 	// more accurate than the old one.
 	oldRows, err := FigureAccuracy(ground.Bordereau(), OldPipeline, []npb.Class{npb.ClassB}, []int{64}, fastOpt)
@@ -152,6 +164,9 @@ func TestNewPipelineBeatsOldAtScale(t *testing.T) {
 }
 
 func TestGrapheneNewPipelineUnderestimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second campaign test in -short mode")
+	}
 	// Figure 7: the missing sender-side memcpy makes the prediction drift
 	// negative as the process count grows.
 	rows, err := FigureAccuracy(ground.Graphene(), NewPipeline, []npb.Class{npb.ClassB}, []int{8, 64}, fastOpt)

@@ -1,0 +1,120 @@
+package experiments
+
+// The sweep experiment is the batch-runner showcase: the paper's whole
+// {LU, CG} x classes x process-count x backend grid of perfect-trace
+// replays, declared as scenarios and executed concurrently on a worker
+// pool. Per-scenario results are identical to sequential execution; only
+// the wall-clock time shrinks.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"tireplay/internal/ground"
+	"tireplay/internal/msgreplay"
+	"tireplay/internal/npb"
+	"tireplay/internal/runner"
+	"tireplay/internal/scenario"
+)
+
+// SweepRow is one scenario outcome of a batch sweep.
+type SweepRow struct {
+	Name    string
+	Backend string
+	// Sim is the predicted execution time, Wall the replay cost.
+	Sim, Wall float64
+	Actions   int64
+	// Err is the scenario's failure message, "" on success.
+	Err string
+}
+
+// SweepScenarios declares the replay grid {LU, CG} x classes x procs x
+// {SMPI, MSG} of perfect traces on the target cluster's platform.
+func SweepScenarios(target *ground.Cluster, classes []npb.Class, procs []int, opt Options) ([]*scenario.Scenario, error) {
+	replayMPI := target.MPI
+	replayMPI.MemcpyBandwidth, replayMPI.MemcpyLatency = 0, 0 // paper-era SMPI (§4.3)
+
+	var scenarios []*scenario.Scenario
+	for _, bench := range []string{"lu", "cg"} {
+		for _, class := range classes {
+			for _, p := range procs {
+				if p > target.Hosts {
+					continue
+				}
+				for _, backend := range []string{"smpi", "msg"} {
+					plat, model, err := target.Platform(p)
+					if err != nil {
+						return nil, err
+					}
+					s := &scenario.Scenario{
+						Name:    fmt.Sprintf("%s %s-%d/%s", bench, class, p, backend),
+						Plat:    plat,
+						Backend: backend,
+						Workload: &scenario.WorkloadSpec{
+							Benchmark: bench, Class: class.String(), Procs: p,
+							Iterations: opt.iters(),
+						},
+					}
+					if backend == "smpi" {
+						s.Network = model
+						s.MPI = replayMPI
+					} else {
+						s.MSG = msgreplay.PrototypeConfig()
+					}
+					scenarios = append(scenarios, s)
+				}
+			}
+		}
+	}
+	return scenarios, nil
+}
+
+// Sweep runs the grid on a worker pool; workers < 1 selects GOMAXPROCS.
+// observe, when non-nil, is called after each scenario completes.
+func Sweep(ctx context.Context, target *ground.Cluster, classes []npb.Class, procs []int,
+	workers int, opt Options, observe func(done, total int, name string)) ([]SweepRow, error) {
+
+	scenarios, err := SweepScenarios(target, classes, procs, opt)
+	if err != nil {
+		return nil, err
+	}
+	opts := []runner.Option{runner.WithWorkers(workers)}
+	if observe != nil {
+		opts = append(opts, runner.WithObserver(func(ev runner.Event) {
+			if ev.Kind == runner.Finished {
+				observe(ev.Done, ev.Total, ev.Result.Scenario.Name)
+			}
+		}))
+	}
+	results, err := runner.Run(ctx, scenarios, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(results))
+	for i, r := range results {
+		rows[i] = SweepRow{Name: r.Scenario.Name, Backend: r.Scenario.Backend}
+		if r.Err != nil {
+			rows[i].Err = r.Err.Error()
+			continue
+		}
+		rows[i].Sim = r.Replay.SimulatedTime
+		rows[i].Wall = r.Replay.Wall.Seconds()
+		rows[i].Actions = r.Replay.Actions
+	}
+	return rows, nil
+}
+
+// RenderSweep prints sweep rows as a table.
+func RenderSweep(w io.Writer, title string, rows []SweepRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s | %12s %12s %10s\n", "Scenario", "Simulated", "ReplayWall", "Actions")
+	fmt.Fprintf(w, "%s\n", lineOf(56))
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-16s | ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-16s | %11.3fs %11.3fs %10d\n", r.Name, r.Sim, r.Wall, r.Actions)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tireplay/internal/ground"
+	"tireplay/internal/npb"
+)
+
+func TestSweepGridShape(t *testing.T) {
+	scenarios, err := SweepScenarios(ground.Graphene(), []npb.Class{npb.ClassS}, []int{4, 8}, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {lu,cg} x {S} x {4,8} x {smpi,msg} = 8 scenarios.
+	if len(scenarios) != 8 {
+		t.Fatalf("grid has %d scenarios, want 8", len(scenarios))
+	}
+	for _, s := range scenarios {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSweepRunsConcurrently(t *testing.T) {
+	var events int
+	rows, err := Sweep(context.Background(), ground.Graphene(), []npb.Class{npb.ClassS}, []int{4, 8},
+		4, fastOpt, func(done, total int, name string) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 || events != 8 {
+		t.Fatalf("rows %d / events %d, want 8 each", len(rows), events)
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("%s failed: %s", r.Name, r.Err)
+		}
+		if r.Sim <= 0 || r.Actions <= 0 {
+			t.Fatalf("%s: degenerate row %+v", r.Name, r)
+		}
+	}
+	var sb strings.Builder
+	RenderSweep(&sb, "T", rows)
+	if !strings.Contains(sb.String(), "lu S-4/smpi") {
+		t.Fatalf("render missing scenario name:\n%s", sb.String())
+	}
+}

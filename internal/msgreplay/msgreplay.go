@@ -39,6 +39,13 @@ func (c Config) eagerThreshold() float64 {
 	return c.EagerThreshold
 }
 
+// PrototypeConfig returns the reference network figures the original MSG
+// prototype hard-coded (the values every paper-faithful replay of the first
+// implementation uses).
+func PrototypeConfig() Config {
+	return Config{RefLatency: 6.5e-5, RefBandwidth: 1.25e8}
+}
+
 // World is the MSG-style replay context: ranks mapped to hosts and a shared
 // barrier for monolithic collectives.
 type World struct {

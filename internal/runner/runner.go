@@ -1,0 +1,158 @@
+// Package runner executes batches of scenarios on a worker pool. Each
+// simulation engine is single-threaded and scenarios share no state, so a
+// sweep — the paper's whole evaluation grid, or a dimensioning study over
+// candidate platforms — is embarrassingly parallel across scenarios while
+// every individual replay stays deterministic.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"tireplay/internal/core"
+	"tireplay/internal/scenario"
+)
+
+// Result is the outcome of one scenario of a batch. Exactly one of Replay
+// and Err is set, unless the scenario was skipped by cancellation (then Err
+// is the context's error).
+type Result struct {
+	// Index is the scenario's position in the input slice; results are
+	// returned in input order regardless of completion order.
+	Index int
+	// Scenario is the executed scenario.
+	Scenario *scenario.Scenario
+	// Replay is the replay outcome, nil if the scenario failed or was
+	// skipped.
+	Replay *core.Result
+	// Err is the scenario's failure, nil on success. A failure affects only
+	// this scenario; the rest of the batch still runs.
+	Err error
+}
+
+// EventKind tags observer callbacks.
+type EventKind int
+
+const (
+	// Started fires when a worker picks the scenario up.
+	Started EventKind = iota
+	// Finished fires when the scenario completes (Result.Replay set),
+	// fails (Result.Err set), or is skipped by cancellation.
+	Finished
+)
+
+// Event is one progress notification.
+type Event struct {
+	Kind EventKind
+	// Result carries the scenario and its index; Replay/Err are only
+	// meaningful for Finished events.
+	Result Result
+	// Done and Total report batch progress as of this event.
+	Done, Total int
+}
+
+// Option configures a batch run.
+type Option func(*config)
+
+type config struct {
+	workers  int
+	observer func(Event)
+}
+
+// WithWorkers sets the worker-pool size; n < 1 selects GOMAXPROCS. Workers
+// only add wall-clock parallelism: per-scenario results are bit-identical
+// to a sequential run.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithObserver installs a progress callback. Events are delivered
+// serialized (never concurrently), but from worker goroutines and in
+// completion order, which is nondeterministic across runs.
+func WithObserver(f func(Event)) Option {
+	return func(c *config) { c.observer = f }
+}
+
+// Run executes every scenario on a pool of workers and returns one Result
+// per scenario, in input order. Scenario failures are recorded in their
+// Result and do not abort the batch; the returned error is non-nil only
+// when ctx is cancelled, in which case not-yet-started scenarios carry the
+// context error in their Result.
+func Run(ctx context.Context, scenarios []*scenario.Scenario, opts ...Option) ([]Result, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.workers > len(scenarios) {
+		cfg.workers = len(scenarios)
+	}
+
+	results := make([]Result, len(scenarios))
+	for i, s := range scenarios {
+		results[i] = Result{Index: i, Scenario: s}
+	}
+	if len(scenarios) == 0 {
+		return results, ctx.Err()
+	}
+
+	var (
+		mu   sync.Mutex // serializes observer callbacks and the done counter
+		done int
+	)
+	notify := func(kind EventKind, r Result) {
+		if cfg.observer == nil && kind != Finished {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if kind == Finished {
+			done++
+		}
+		if cfg.observer != nil {
+			cfg.observer(Event{Kind: kind, Result: r, Done: done, Total: len(scenarios)})
+		}
+	}
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				r := &results[i]
+				if err := ctx.Err(); err != nil {
+					// Cancelled: mark the scenario skipped, don't run it.
+					r.Err = err
+					notify(Finished, *r)
+					continue
+				}
+				notify(Started, *r)
+				r.Replay, r.Err = r.Scenario.Run(ctx)
+				notify(Finished, *r)
+			}
+		}()
+	}
+
+feed:
+	for i := range scenarios {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			// Indexes from i on were never handed to a worker: mark them
+			// skipped.
+			for j := i; j < len(scenarios); j++ {
+				results[j].Err = ctx.Err()
+				notify(Finished, results[j])
+			}
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	return results, ctx.Err()
+}

@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tireplay/internal/core"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/scenario"
+	"tireplay/internal/trace"
+)
+
+func flatSpec(hosts int) *platform.Spec {
+	return &platform.Spec{
+		Name: "test", Topology: "flat", Hosts: hosts, Speed: 1e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	}
+}
+
+// sweep builds the acceptance-criteria batch: {LU, CG} x {A, B} x {8, 16}
+// ranks = 8 scenarios, alternating backends.
+func sweep(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	var out []*scenario.Scenario
+	for _, bench := range []string{"lu", "cg"} {
+		for _, class := range []string{"A", "B"} {
+			for _, procs := range []int{8, 16} {
+				out = append(out, &scenario.Scenario{
+					Name:     bench + "-" + class,
+					Platform: flatSpec(procs),
+					Workload: &scenario.WorkloadSpec{
+						Benchmark: bench, Class: class, Procs: procs, Iterations: 3,
+					},
+				})
+			}
+		}
+	}
+	if len(out) < 8 {
+		t.Fatalf("sweep has %d scenarios, want >= 8", len(out))
+	}
+	return out
+}
+
+// TestParallelMatchesSequentialReplay checks the batch runner with 4
+// workers produces the same SimulatedTime per scenario as direct sequential
+// core.Replay calls.
+func TestParallelMatchesSequentialReplay(t *testing.T) {
+	scenarios := sweep(t)
+
+	// Sequential reference, straight through the low-level API.
+	want := make([]float64, len(scenarios))
+	for i, s := range scenarios {
+		w, err := s.Workload.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, _, err := s.Platform.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Replay(npb.AsProvider(w), plat, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.SimulatedTime
+	}
+
+	results, err := Run(context.Background(), scenarios, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %d (%s): %v", i, scenarios[i].Name, r.Err)
+		}
+		if r.Index != i || r.Scenario != scenarios[i] {
+			t.Fatalf("result %d misordered: index %d", i, r.Index)
+		}
+		if r.Replay.SimulatedTime != want[i] {
+			t.Fatalf("scenario %d (%s): parallel SimulatedTime %v != sequential %v",
+				i, scenarios[i].Name, r.Replay.SimulatedTime, want[i])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts re-runs the same batch at several
+// pool sizes; per-scenario results must be identical.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	scenarios := sweep(t)
+	base, err := Run(context.Background(), scenarios, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		results, err := Run(context.Background(), scenarios, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				t.Fatalf("workers=%d scenario %d: %v", workers, i, results[i].Err)
+			}
+			if results[i].Replay.SimulatedTime != base[i].Replay.SimulatedTime {
+				t.Fatalf("workers=%d scenario %d: SimulatedTime %v != %v",
+					workers, i, results[i].Replay.SimulatedTime, base[i].Replay.SimulatedTime)
+			}
+			if results[i].Replay.Actions != base[i].Replay.Actions {
+				t.Fatalf("workers=%d scenario %d: Actions %d != %d",
+					workers, i, results[i].Replay.Actions, base[i].Replay.Actions)
+			}
+		}
+	}
+}
+
+// TestErrorIsolation checks a failing scenario doesn't abort the others.
+func TestErrorIsolation(t *testing.T) {
+	good := func() *scenario.Scenario {
+		return &scenario.Scenario{
+			Platform: flatSpec(4),
+			Workload: &scenario.WorkloadSpec{Benchmark: "lu", Class: "S", Procs: 4, Iterations: 2},
+		}
+	}
+	// Malformed trace: a wait with no outstanding request.
+	bad := &scenario.Scenario{
+		Platform: flatSpec(1),
+		Provider: trace.NewMemProvider([][]trace.Action{
+			{{Rank: 0, Kind: trace.Wait, Peer: -1}},
+		}),
+	}
+	scenarios := []*scenario.Scenario{good(), bad, good()}
+	results, err := Run(context.Background(), scenarios, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good scenarios failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("malformed scenario did not fail")
+	}
+	if !errors.Is(results[1].Err, core.ErrNoOutstandingRequest) {
+		t.Fatalf("error %v does not wrap ErrNoOutstandingRequest", results[1].Err)
+	}
+	var te *core.TraceError
+	if !errors.As(results[1].Err, &te) {
+		t.Fatalf("error %v is not a *TraceError", results[1].Err)
+	}
+}
+
+// TestCancellationMidBatch cancels after the first completion; later
+// scenarios must be skipped with the context error and Run must report it.
+func TestCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var scenarios []*scenario.Scenario
+	for i := 0; i < 12; i++ {
+		scenarios = append(scenarios, &scenario.Scenario{
+			Platform: flatSpec(4),
+			Workload: &scenario.WorkloadSpec{Benchmark: "cg", Class: "S", Procs: 4, Iterations: 2},
+		})
+	}
+
+	finished := 0
+	results, err := Run(ctx, scenarios, WithWorkers(1), WithObserver(func(ev Event) {
+		if ev.Kind == Finished {
+			finished++
+			if finished == 1 {
+				cancel()
+			}
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	ran, skipped := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Err == nil && r.Replay != nil:
+			ran++
+		case errors.Is(r.Err, context.Canceled):
+			skipped++
+		default:
+			t.Fatalf("scenario %d: unexpected state (replay=%v err=%v)", r.Index, r.Replay, r.Err)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no scenario completed before cancellation")
+	}
+	if skipped == 0 {
+		t.Fatal("no scenario was skipped after cancellation")
+	}
+	if ran+skipped != len(scenarios) {
+		t.Fatalf("ran %d + skipped %d != %d", ran, skipped, len(scenarios))
+	}
+}
+
+// TestObserverEvents checks started/finished pairing, progress counters,
+// and that callbacks are serialized.
+func TestObserverEvents(t *testing.T) {
+	scenarios := sweep(t)
+	// The runner serializes observer callbacks, so plain counters suffice;
+	// `go test -race` would flag a violation of that guarantee.
+	started, finished := 0, 0
+	lastDone := 0
+	results, err := Run(context.Background(), scenarios, WithWorkers(4),
+		WithObserver(func(ev Event) {
+			switch ev.Kind {
+			case Started:
+				started++
+			case Finished:
+				finished++
+				if ev.Done <= lastDone || ev.Done > ev.Total {
+					t.Errorf("done counter not increasing: %d after %d", ev.Done, lastDone)
+				}
+				lastDone = ev.Done
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != len(scenarios) || finished != len(scenarios) {
+		t.Fatalf("started %d / finished %d, want %d each", started, finished, len(scenarios))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+// TestEmptyBatch returns immediately.
+func TestEmptyBatch(t *testing.T) {
+	results, err := Run(context.Background(), nil, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results for empty batch", len(results))
+	}
+}
+
+// TestInvalidScenarioReported checks Validate failures land in the Result.
+func TestInvalidScenarioReported(t *testing.T) {
+	results, err := Run(context.Background(), []*scenario.Scenario{{}}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("empty scenario did not fail validation")
+	}
+}

@@ -40,6 +40,18 @@ func (p *Proc) faultf(format string, args ...any) {
 	panic(simFault{fmt.Errorf("sim: process %s: "+format, append([]any{p.Name}, args...)...)})
 }
 
+// Fail aborts the whole simulation with err: the process unwinds immediately
+// and Engine.Run returns err (the first failure wins). Layers above the
+// kernel use it to surface structured errors — e.g. a malformed trace — with
+// their error chain intact, where a plain panic would flatten it to a string.
+// Must be called from the failing process itself.
+func (p *Proc) Fail(err error) {
+	if err == nil {
+		p.faultf("Fail(nil)")
+	}
+	panic(simFault{err})
+}
+
 // Spawn creates a simulated process named name pinned to host, running body.
 // It may be called before Run or from a running process.
 func (e *Engine) Spawn(name string, host *Host, body func(*Proc)) *Proc {

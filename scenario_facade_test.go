@@ -1,0 +1,176 @@
+package tireplay_test
+
+// Facade-level coverage of the Scenario/Runner surface: the same sweep
+// expressed declaratively must reproduce the one-shot Replay calls exactly,
+// including through the compat shim.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tireplay"
+)
+
+func facadePlatformSpec(procs int) *tireplay.PlatformSpec {
+	return &tireplay.PlatformSpec{
+		Name: "t", Topology: "flat", Hosts: procs, Speed: 2e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	}
+}
+
+func TestFacadeScenarioMatchesReplayShim(t *testing.T) {
+	// Old API: one-shot Replay.
+	lu, err := tireplay.NewLU(tireplay.ClassA, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+		Name: "t", Hosts: 8, Speed: 2e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := tireplay.Replay(tireplay.PerfectTrace(lu), plat, tireplay.ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New API: the same replay declared as a scenario.
+	s := &tireplay.Scenario{
+		Platform: facadePlatformSpec(8),
+		Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "A", Procs: 8, Iterations: 3},
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedTime != old.SimulatedTime {
+		t.Fatalf("scenario %v != shim %v", res.SimulatedTime, old.SimulatedTime)
+	}
+	if res.Actions != old.Actions {
+		t.Fatalf("scenario actions %d != shim %d", res.Actions, old.Actions)
+	}
+}
+
+func TestFacadeBatchSweep(t *testing.T) {
+	// The acceptance-criteria sweep at facade level: >= 8 LU/CG scenarios,
+	// 4 workers, byte-identical per-scenario times vs sequential Replay.
+	type inst struct {
+		bench string
+		class string
+		procs int
+	}
+	var insts []inst
+	for _, bench := range []string{"lu", "cg"} {
+		for _, class := range []string{"S", "A"} {
+			for _, procs := range []int{4, 8} {
+				insts = append(insts, inst{bench, class, procs})
+			}
+		}
+	}
+	if len(insts) < 8 {
+		t.Fatalf("only %d instances", len(insts))
+	}
+
+	var scenarios []*tireplay.Scenario
+	for _, in := range insts {
+		scenarios = append(scenarios, &tireplay.Scenario{
+			Name:     fmt.Sprintf("%s-%s-%d", in.bench, in.class, in.procs),
+			Platform: facadePlatformSpec(in.procs),
+			Workload: &tireplay.WorkloadSpec{
+				Benchmark: in.bench, Class: in.class, Procs: in.procs, Iterations: 2,
+			},
+		})
+	}
+
+	results, err := tireplay.RunScenarios(context.Background(), scenarios, tireplay.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", scenarios[i].Name, r.Err)
+		}
+		// Sequential reference through the compat shim.
+		in := insts[i]
+		var w tireplay.Workload
+		var werr error
+		class := tireplay.NPBClass(in.class[0])
+		if in.bench == "lu" {
+			w, werr = tireplay.NewLU(class, in.procs, 2)
+		} else {
+			w, werr = tireplay.NewCG(class, in.procs, 2)
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+			Name: "t", Hosts: in.procs, Speed: 2e9,
+			LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+			BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := tireplay.Replay(tireplay.PerfectTrace(w), plat, tireplay.ReplayConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Replay.SimulatedTime != ref.SimulatedTime {
+			t.Fatalf("%s: batch %v != sequential %v",
+				scenarios[i].Name, r.Replay.SimulatedTime, ref.SimulatedTime)
+		}
+	}
+}
+
+func TestFacadeTraceErrorSurface(t *testing.T) {
+	// A malformed trace (an orphan wait) surfaces the structured error
+	// types re-exported by the facade.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad_0.trace"), []byte("p0 wait\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.desc"), []byte("bad_0.trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prov, err := tireplay.LoadTraces(filepath.Join(dir, "bad.desc"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
+		Name: "t", Hosts: 1, Speed: 1e9,
+		LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+		BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = tireplay.Replay(prov, plat, tireplay.ReplayConfig{}); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+	if !errors.Is(err, tireplay.ErrNoOutstandingRequest) {
+		t.Fatalf("error %v does not wrap ErrNoOutstandingRequest", err)
+	}
+	var te *tireplay.TraceError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *TraceError", err)
+	}
+}
+
+func TestFacadeBackendsRegistry(t *testing.T) {
+	names := tireplay.Backends()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found[tireplay.SMPI] || !found[tireplay.MSG] {
+		t.Fatalf("builtin backends missing from registry: %v", names)
+	}
+}

@@ -14,16 +14,20 @@
 //   - platform description (flat and hierarchical clusters, piece-wise
 //     linear network factor models);
 //   - the trace format: parsing, writing, validation, streaming;
-//   - two replay backends: the accurate SMPI-style backend
-//     (eager/rendezvous protocols, collectives as point-to-point trees) and
-//     the legacy MSG-style baseline the paper improves upon;
+//   - replay backends behind a uniform interface: the accurate SMPI-style
+//     backend (eager/rendezvous protocols, collectives as point-to-point
+//     trees), the legacy MSG-style baseline the paper improves upon, and
+//     any custom backend plugged in with RegisterBackend;
 //   - workload models of the NAS Parallel Benchmarks (LU, CG) that generate
 //     traces of any class/process count;
 //   - emulated ground-truth clusters (bordereau, graphene) and the
 //     instrumentation model used to study acquisition overheads;
-//   - the two calibration procedures (classic A-4 and cache-aware).
+//   - the two calibration procedures (classic A-4 and cache-aware);
+//   - a declarative, JSON-serializable Scenario description (platform,
+//     trace source, backend, model knobs) and a concurrent batch runner
+//     for sweeps over many scenarios.
 //
-// Quick start:
+// Single replay quick start:
 //
 //	plat, _, err := tireplay.Cluster(tireplay.ClusterSpec{
 //		Name: "mycluster", Hosts: 8, Speed: 2e9,
@@ -33,9 +37,32 @@
 //	prov, err := tireplay.LoadTraces("traces/lu_b8.desc", 8)
 //	res, err := tireplay.Replay(prov, plat, tireplay.ReplayConfig{})
 //	fmt.Printf("predicted time: %.2f s\n", res.SimulatedTime)
+//
+// Batch sweep quick start — declare scenarios, run them on a worker pool;
+// results come back in input order and one failure never aborts the rest:
+//
+//	var scenarios []*tireplay.Scenario
+//	for _, procs := range []int{8, 16, 32, 64} {
+//		scenarios = append(scenarios, &tireplay.Scenario{
+//			Name:     fmt.Sprintf("lu-b-%d", procs),
+//			Platform: &tireplay.PlatformSpec{Topology: "flat", Hosts: procs,
+//				Speed: 2e9, LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+//				BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6},
+//			Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "B", Procs: procs},
+//		})
+//	}
+//	results, err := tireplay.RunScenarios(ctx, scenarios, tireplay.WithWorkers(4))
+//	for _, r := range results {
+//		if r.Err != nil {
+//			fmt.Printf("%s: %v\n", r.Scenario.Name, r.Err)
+//			continue
+//		}
+//		fmt.Printf("%s: %.2f s\n", r.Scenario.Name, r.Replay.SimulatedTime)
+//	}
 package tireplay
 
 import (
+	"context"
 	"fmt"
 
 	"tireplay/internal/calibrate"
@@ -46,6 +73,8 @@ import (
 	"tireplay/internal/msgreplay"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
+	"tireplay/internal/runner"
+	"tireplay/internal/scenario"
 	"tireplay/internal/sim"
 	"tireplay/internal/trace"
 )
@@ -93,6 +122,11 @@ type (
 	MSGConfig = msgreplay.Config
 )
 
+// MSGPrototypeConfig returns the reference network figures the original MSG
+// prototype hard-coded, for paper-faithful replays of the first
+// implementation.
+func MSGPrototypeConfig() MSGConfig { return msgreplay.PrototypeConfig() }
+
 // Backend selection.
 const (
 	// SMPI is the accurate backend introduced by the paper (Section 3.3).
@@ -100,6 +134,78 @@ const (
 	// MSG is the first-prototype baseline backend (Section 2.4).
 	MSG = core.MSG
 )
+
+// Backend extension surface: every replay implementation is driven through
+// the RankOps interface by one shared driver loop, and selected by
+// registered name.
+type (
+	// RankOps is the per-rank operation set a replay backend provides.
+	RankOps = core.RankOps
+	// Request is an opaque handle to an outstanding nonblocking operation.
+	Request = core.Request
+	// BackendWorld is one backend's replay context (ranks bound to hosts).
+	BackendWorld = core.World
+	// Backend builds replay worlds and is selected by name.
+	Backend = core.Backend
+	// TraceError reports a malformed trace detected during replay.
+	TraceError = core.TraceError
+)
+
+// Malformed-trace error causes, matchable with errors.Is on the error
+// returned by Replay or Scenario.Run.
+var (
+	ErrNoOutstandingRequest = core.ErrNoOutstandingRequest
+	ErrUnsupportedAction    = core.ErrUnsupportedAction
+)
+
+// RegisterBackend makes a custom replay backend selectable by name in
+// ReplayConfig.Backend and Scenario.Backend.
+func RegisterBackend(name string, b Backend) { core.Register(name, b) }
+
+// Backends returns the sorted names of all registered replay backends.
+func Backends() []string { return core.Backends() }
+
+// Scenario and batch-runner types.
+type (
+	// Scenario is a declarative, JSON-serializable replay description with
+	// Validate and Run(ctx) methods.
+	Scenario = scenario.Scenario
+	// WorkloadSpec selects an NPB workload model as a scenario's trace
+	// source.
+	WorkloadSpec = scenario.WorkloadSpec
+	// AcquisitionSpec asks for the instrumented acquisition's trace.
+	AcquisitionSpec = scenario.AcquisitionSpec
+	// ScenarioResult is the outcome of one scenario of a batch.
+	ScenarioResult = runner.Result
+	// RunnerEvent is a batch progress notification.
+	RunnerEvent = runner.Event
+	// RunnerOption configures RunScenarios.
+	RunnerOption = runner.Option
+)
+
+// Runner event kinds.
+const (
+	ScenarioStarted  = runner.Started
+	ScenarioFinished = runner.Finished
+)
+
+// RunScenarios executes a batch of scenarios on a worker pool and returns
+// one result per scenario, in input order. Per-scenario results are
+// bit-identical to sequential execution regardless of the worker count; a
+// failing scenario is reported in its result and does not abort the batch.
+// The returned error is non-nil only when ctx is cancelled.
+func RunScenarios(ctx context.Context, scenarios []*Scenario, opts ...RunnerOption) ([]ScenarioResult, error) {
+	return runner.Run(ctx, scenarios, opts...)
+}
+
+// WithWorkers sets the batch worker-pool size; n < 1 selects GOMAXPROCS.
+func WithWorkers(n int) RunnerOption { return runner.WithWorkers(n) }
+
+// WithObserver installs a serialized per-scenario progress callback.
+func WithObserver(f func(RunnerEvent)) RunnerOption { return runner.WithObserver(f) }
+
+// LoadScenarios reads a JSON array of scenarios from a file.
+func LoadScenarios(path string) ([]*Scenario, error) { return scenario.Load(path) }
 
 // Workload types.
 type (

@@ -108,7 +108,7 @@ func TestFacadeBackendsDiffer(t *testing.T) {
 	smpi := run(tireplay.ReplayConfig{Backend: tireplay.SMPI})
 	msg := run(tireplay.ReplayConfig{
 		Backend: tireplay.MSG,
-		MSG:     tireplay.MSGConfig{RefLatency: 6.5e-5, RefBandwidth: 1.25e8},
+		MSG:     tireplay.MSGPrototypeConfig(),
 	})
 	if msg <= smpi {
 		t.Fatalf("MSG backend %v not slower than SMPI %v on a wavefront workload", msg, smpi)
