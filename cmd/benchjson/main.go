@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a JSON document mapping each benchmark (qualified by its package, so
+// names never collide across packages) to its measured metrics. CI pipes
+// the benchmark run through it to produce the BENCH_ci.json artifact that
+// records the performance trajectory per commit:
+//
+//	go test -bench . -benchtime=1x -run '^$' ./... | benchjson > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics are the per-benchmark measurements. Zero-valued fields were not
+// reported by the run (B/op and allocs/op need -benchmem or ReportAllocs).
+type Metrics struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// Procs is the GOMAXPROCS suffix go test appends to the name; it is
+	// stripped from the JSON key so keys stay joinable across commits even
+	// when runner core counts change.
+	Procs int `json:"procs,omitempty"`
+}
+
+func main() {
+	results := make(map[string]Metrics)
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		results[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// encoding/json sorts map keys, so artifact diffs stay readable
+	// across commits.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkTIBDecode-8  34534  69603 ns/op  244.24 MB/s  18496 B/op  2 allocs/op
+func parseBenchLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Metrics{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	name := fields[0]
+	procs := 0
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
+		}
+	}
+	m := Metrics{Iterations: iters, Procs: procs}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp, seen = v, true
+		case "B/op":
+			m.BPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		case "MB/s":
+			m.MBPerS = v
+		}
+	}
+	return name, m, seen
+}

@@ -13,6 +13,11 @@
 // pool (each simulation is single-threaded; scenarios run concurrently):
 //
 //	tireplay -scenarios sweep.json [-workers 4] [-v]
+//
+// Compile-only usage — build the binary trace cache (a sibling .tib file)
+// without replaying, so later replays and CI runs start warm:
+//
+//	tireplay -compile -desc traces/lu_b8.desc [-np 8]
 package main
 
 import (
@@ -34,7 +39,34 @@ func main() {
 	scenarios := flag.String("scenarios", "", "JSON scenario batch file; replaces -desc/-platform")
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "print engine statistics / batch progress")
+	compile := flag.Bool("compile", false, "compile -desc into a sibling .tib binary trace cache and exit")
+	cache := flag.String("trace-cache", "auto", "binary trace cache mode: auto, on, or off")
 	flag.Parse()
+
+	if *compile {
+		if *desc == "" {
+			fmt.Fprintln(os.Stderr, "tireplay: -compile requires -desc")
+			os.Exit(2)
+		}
+		if *np == 0 {
+			// A single-entry description is the merged layout: without a
+			// rank count it would silently compile as one rank.
+			entries, err := tireplay.TraceDescriptionEntries(*desc)
+			fatal(err)
+			if entries == 1 {
+				fmt.Fprintln(os.Stderr, "tireplay: -compile on a merged (single-entry) trace description requires -np")
+				os.Exit(2)
+			}
+		}
+		tibPath, rebuilt, err := tireplay.CompileTraces(*desc, *np)
+		fatal(err)
+		if rebuilt {
+			fmt.Printf("compiled %s\n", tibPath)
+		} else {
+			fmt.Printf("cache up to date: %s\n", tibPath)
+		}
+		return
+	}
 
 	if *scenarios != "" {
 		runBatch(*scenarios, *workers, *verbose)
@@ -54,6 +86,7 @@ func main() {
 		Backend:       *backend,
 		HostSpeed:     *speed,
 		ValidateTrace: *validate,
+		TraceCache:    *cache,
 	}
 	if *backend == tireplay.MSG {
 		// The prototype's crude hard-coded network reference figures, and

@@ -7,12 +7,14 @@
 //
 //	tracegen -workload lu -class B -np 8 [-iters 250] [-o traces] [-prefix lu_b8]
 //	    [-mode perfect|minimal|fine] [-cluster bordereau|graphene] [-O3]
+//	    [-fold | -tib]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"tireplay"
 )
@@ -28,6 +30,7 @@ func main() {
 	clusterName := flag.String("cluster", "graphene", "emulated cluster for instrumented acquisition")
 	o3 := flag.Bool("O3", false, "acquire from an -O3 build")
 	fold := flag.Bool("fold", false, "write loop-folded trace files (lossless; replayer expands them)")
+	tib := flag.Bool("tib", false, "write one compiled .tib binary trace instead of text files")
 	flag.Parse()
 
 	class := tireplay.NPBClass((*classStr)[0])
@@ -82,9 +85,16 @@ func main() {
 	perRank, err := tireplay.Materialize(prov)
 	fatal(err)
 	var desc string
-	if *fold {
+	switch {
+	case *tib:
+		// A .tib is self-contained (rank count and per-rank index in the
+		// header) and accepted directly by tireplay -desc.
+		fatal(os.MkdirAll(*outDir, 0o755))
+		desc = filepath.Join(*outDir, name+".tib")
+		err = tireplay.WriteTIB(desc, perRank)
+	case *fold:
 		desc, err = tireplay.WriteFoldedTraces(*outDir, name, perRank)
-	} else {
+	default:
 		desc, err = tireplay.WriteTraces(*outDir, name, perRank)
 	}
 	fatal(err)

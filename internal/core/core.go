@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"tireplay/internal/mpi"
@@ -113,12 +114,25 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	// Streams of ranks that never finish — because another rank's malformed
+	// trace aborted the simulation, the trace deadlocked, or the caller was
+	// cancelled — would otherwise be abandoned mid-file; close every stream
+	// that can be closed once the engine has stopped.
+	streams := make([]trace.Stream, 0, n)
+	defer func() {
+		for _, s := range streams {
+			if c, ok := s.(io.Closer); ok {
+				c.Close()
+			}
+		}
+	}()
 	var actions int64
 	for rank := 0; rank < n; rank++ {
 		stream, err := prov.Rank(rank)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening stream for rank %d: %w", rank, err)
 		}
+		streams = append(streams, stream)
 		spawnRank(world, backend.Name(), rank, stream, &actions)
 	}
 

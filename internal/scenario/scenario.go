@@ -145,6 +145,15 @@ type Scenario struct {
 	// other sources.
 	Ranks int `json:"ranks,omitempty"`
 
+	// TraceCache controls the compiled binary trace cache for TraceDesc
+	// sources. "auto" (the default) compiles the trace set into a sibling
+	// .tib file keyed by the sources' mtime/size and replays from it,
+	// falling back to text parsing if the cache cannot be built or read;
+	// "on" requires the cache and fails otherwise; "off" always parses
+	// text. A TraceDesc that already points at a .tib file is replayed
+	// from it directly regardless of this knob.
+	TraceCache string `json:"trace_cache,omitempty"`
+
 	// Acquisition, with Workload, replays the instrumented acquisition's
 	// trace instead of the perfect one.
 	Acquisition *AcquisitionSpec `json:"acquisition,omitempty"`
@@ -234,6 +243,15 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: %w", s.label(), err)
 	}
 
+	switch strings.ToLower(s.TraceCache) {
+	case "", "auto", "on", "off":
+	default:
+		return fmt.Errorf("scenario %s: unknown trace cache mode %q (want auto, on, or off)", s.label(), s.TraceCache)
+	}
+	if s.TraceCache != "" && s.TraceDesc == "" {
+		return fmt.Errorf("scenario %s: TraceCache requires a TraceDesc trace source", s.label())
+	}
+
 	for i, h := range s.HostMapping {
 		if h < 0 {
 			return fmt.Errorf("scenario %s: host mapping entry %d is negative (%d)", s.label(), i, h)
@@ -289,33 +307,53 @@ func (s *Scenario) buildPlatform() (*platform.Platform, sim.NetworkModel, error)
 // provider materializes the trace source. defaultRanks is the merged-trace
 // rank count used when Ranks is unset (TraceDesc source only) — the
 // platform's host count, matching how smpirun infers -np from the hostfile.
-func (s *Scenario) provider(defaultRanks int) (trace.Provider, error) {
+// owned reports whether the scenario opened the provider itself and must
+// close it after the replay (user-supplied Providers stay the caller's to
+// close).
+func (s *Scenario) provider(defaultRanks int) (prov trace.Provider, owned bool, err error) {
 	switch {
 	case s.Provider != nil:
-		return s.Provider, nil
+		return s.Provider, false, nil
 	case s.Workload != nil:
 		w, err := s.Workload.Build()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if s.Acquisition == nil {
-			return npb.AsProvider(w), nil
+			return npb.AsProvider(w), false, nil
 		}
 		class, err := npb.ParseClass(s.Workload.Class)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		cfg, err := s.Acquisition.config(class)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return instrument.Acquired{W: w, Cfg: cfg}, nil
+		return instrument.Acquired{W: w, Cfg: cfg}, false, nil
 	default:
 		ranks := s.Ranks
 		if ranks == 0 {
 			ranks = defaultRanks
 		}
-		return trace.LoadDescription(s.TraceDesc, ranks)
+		if trace.SniffTIB(s.TraceDesc) {
+			p, err := trace.OpenTIB(s.TraceDesc)
+			return p, err == nil, err
+		}
+		switch strings.ToLower(s.TraceCache) {
+		case "off":
+			p, err := trace.LoadDescription(s.TraceDesc, ranks)
+			return p, false, err
+		case "on":
+			p, err := trace.OpenDescriptionCached(s.TraceDesc, ranks, 0)
+			return p, err == nil, err
+		default: // "auto": compiled cache with transparent text fallback
+			if p, err := trace.OpenDescriptionCached(s.TraceDesc, ranks, 0); err == nil {
+				return p, true, nil
+			}
+			p, err := trace.LoadDescription(s.TraceDesc, ranks)
+			return p, false, err
+		}
 	}
 }
 
@@ -338,9 +376,15 @@ func (s *Scenario) Run(ctx context.Context) (*core.Result, error) {
 		plat.SetSpeed(s.HostSpeed)
 	}
 
-	prov, err := s.provider(plat.Size())
+	prov, owned, err := s.provider(plat.Size())
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: building trace source: %w", s.label(), err)
+	}
+	if owned {
+		// The compiled .tib cache provider holds a file descriptor.
+		if c, ok := prov.(io.Closer); ok {
+			defer c.Close()
+		}
 	}
 	if s.ValidateTrace {
 		if err := trace.Validate(prov); err != nil {

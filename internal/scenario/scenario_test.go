@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"tireplay/internal/core"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
 	"tireplay/internal/trace"
@@ -380,5 +381,137 @@ func TestLoadScenarioFile(t *testing.T) {
 	}
 	if res.SimulatedTime <= 0 {
 		t.Fatal("no simulated time")
+	}
+}
+
+// The compiled binary trace cache must be bit-identical to text replay:
+// same simulated time, same action count — the cache is an ingestion
+// optimization, never a model change.
+func TestTraceCacheModesBitIdentical(t *testing.T) {
+	lu, err := npb.NewLU(npb.ClassS, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]trace.Action, 4)
+	for r := 0; r < 4; r++ {
+		st, err := npb.AsProvider(lu).Rank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			a, ok, err := st.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			perRank[r] = append(perRank[r], a)
+		}
+	}
+	dir := t.TempDir()
+	desc, err := trace.WriteSet(dir, "lu_s4", perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mode string) *core.Result {
+		t.Helper()
+		s := &Scenario{
+			Platform:   flatSpec(4),
+			TraceDesc:  desc,
+			TraceCache: mode,
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatalf("mode %q: %v", mode, err)
+		}
+		return res
+	}
+
+	text := run("off")
+	if _, err := os.Stat(desc + trace.TIBExt); err == nil {
+		t.Fatal("TraceCache off still wrote a .tib cache")
+	}
+	compiled := run("on")
+	if _, err := os.Stat(desc + trace.TIBExt); err != nil {
+		t.Fatalf("TraceCache on did not write the sibling cache: %v", err)
+	}
+	auto := run("auto")
+
+	if compiled.SimulatedTime != text.SimulatedTime || auto.SimulatedTime != text.SimulatedTime {
+		t.Fatalf("simulated times diverge: text %v, on %v, auto %v",
+			text.SimulatedTime, compiled.SimulatedTime, auto.SimulatedTime)
+	}
+	if compiled.Actions != text.Actions || auto.Actions != text.Actions {
+		t.Fatalf("action counts diverge: text %d, on %d, auto %d",
+			text.Actions, compiled.Actions, auto.Actions)
+	}
+}
+
+// A TraceDesc pointing directly at a compiled .tib file (tracegen -tib
+// output) must replay without any description file.
+func TestTraceDescAcceptsTIBDirectly(t *testing.T) {
+	lu, err := npb.NewLU(npb.ClassS, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perRank [][]trace.Action
+	for r := 0; r < 4; r++ {
+		st, err := npb.AsProvider(lu).Rank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acts []trace.Action
+		for {
+			a, ok, err := st.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			acts = append(acts, a)
+		}
+		perRank = append(perRank, acts)
+	}
+	tibPath := filepath.Join(t.TempDir(), "lu_s4.tib")
+	if err := trace.WriteTIBFile(tibPath, perRank); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &Scenario{Platform: flatSpec(4), TraceDesc: tibPath}
+	direct, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromWorkload, err := luScenario(4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.SimulatedTime != fromWorkload.SimulatedTime {
+		t.Fatalf("direct .tib replay %v != workload replay %v",
+			direct.SimulatedTime, fromWorkload.SimulatedTime)
+	}
+}
+
+func TestValidateTraceCacheKnob(t *testing.T) {
+	bad := &Scenario{Platform: flatSpec(4), TraceDesc: "x.desc", TraceCache: "maybe"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown trace cache mode")
+	}
+	wrongSource := &Scenario{
+		Platform:   flatSpec(4),
+		Workload:   &WorkloadSpec{Benchmark: "lu", Class: "S", Procs: 4},
+		TraceCache: "on",
+	}
+	if err := wrongSource.Validate(); err == nil {
+		t.Fatal("Validate accepted TraceCache without a TraceDesc source")
+	}
+	for _, mode := range []string{"", "auto", "on", "off"} {
+		s := &Scenario{Platform: flatSpec(4), TraceDesc: "x.desc", TraceCache: mode}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
 	}
 }

@@ -2,9 +2,26 @@ package trace
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// benchActions is the 4000-action trace both the text-parsing and the
+// TIB-decoding throughput benchmarks consume, so their ns/op compare
+// directly (same actions per iteration).
+func benchActions() []Action {
+	actions := make([]Action, 0, 4000)
+	for i := 0; i < 1000; i++ {
+		actions = append(actions,
+			Action{Rank: 0, Kind: Compute, Instructions: 956140, Peer: -1},
+			Action{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240},
+			Action{Rank: 0, Kind: IRecv, Peer: 2, Bytes: 880},
+			Action{Rank: 0, Kind: Wait, Peer: -1},
+		)
+	}
+	return actions
+}
 
 func BenchmarkParseLine(b *testing.B) {
 	b.ReportAllocs()
@@ -46,16 +63,61 @@ func BenchmarkReaderThroughput(b *testing.B) {
 	}
 }
 
-func BenchmarkWrite(b *testing.B) {
-	actions := make([]Action, 0, 4000)
-	for i := 0; i < 1000; i++ {
-		actions = append(actions,
-			Action{Rank: 0, Kind: Compute, Instructions: 956140, Peer: -1},
-			Action{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240},
-			Action{Rank: 0, Kind: IRecv, Peer: 2, Bytes: 880},
-			Action{Rank: 0, Kind: Wait, Peer: -1},
-		)
+// BenchmarkTIBDecode measures compiled-trace ingestion on the same trace
+// as BenchmarkReaderThroughput: one iteration reads the full 4000-action
+// rank section (positioned read + checksum + varint decode), so the ns/op
+// ratio against the text benchmark is the ingestion speedup.
+func BenchmarkTIBDecode(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.tib")
+	if err := WriteTIBFile(path, [][]Action{benchActions()}); err != nil {
+		b.Fatal(err)
 	}
+	p, err := OpenTIB(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.SetBytes(int64(p.index[0].length))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := p.Rank(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := st.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != 4000 {
+			b.Fatalf("decoded %d actions, want 4000", n)
+		}
+	}
+}
+
+// BenchmarkTIBCompile measures the one-time compile cost the cache
+// amortizes away.
+func BenchmarkTIBCompile(b *testing.B) {
+	actions := benchActions()
+	path := filepath.Join(b.TempDir(), "bench.tib")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteTIBFile(path, [][]Action{actions}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	actions := benchActions()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer

@@ -68,18 +68,35 @@ func (m *MemProvider) Rank(rank int) (Stream, error) {
 	return NewSliceStream(m.perRank[rank]), nil
 }
 
-// fileStream streams a trace file, closing it at EOF.
+// fileStream streams a trace file, closing it at EOF, on error, or — for
+// streams abandoned mid-trace, e.g. when another rank aborts the replay or
+// the runner is cancelled — when the driver calls Close. Without the
+// explicit Close path an abandoned stream leaked its descriptor for the
+// life of the process.
 type fileStream struct {
-	f  *os.File
-	rd Stream
+	f      *os.File
+	rd     Stream
+	closed bool
 }
 
 func (s *fileStream) Next() (Action, bool, error) {
+	if s.closed {
+		return Action{}, false, fmt.Errorf("trace: %s: stream already closed", s.f.Name())
+	}
 	a, ok, err := s.rd.Next()
 	if err != nil || !ok {
-		s.f.Close()
+		s.Close()
 	}
 	return a, ok, err
+}
+
+// Close releases the underlying file; it is idempotent.
+func (s *fileStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
 }
 
 // FileProvider serves traces stored as files, as produced by the acquisition

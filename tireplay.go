@@ -339,6 +339,39 @@ func WriteFoldedTraces(dir, prefix string, perRank [][]Action) (string, error) {
 	return trace.WriteFoldedSet(dir, prefix, perRank)
 }
 
+// CompileTraces compiles the trace set named by a description file into a
+// sibling binary cache at descPath+".tib" (the TIB format: varint-encoded
+// actions behind a per-rank offset index, every region checksummed).
+// Ingesting a compiled trace seeks straight to each rank's section instead
+// of re-parsing — and, for merged single-file traces, re-scanning — the
+// text, which is what makes large batch sweeps cheap to feed. A cache
+// whose recorded source fingerprint (file names, sizes, mtimes) still
+// matches is reused; rebuilt reports whether a compile actually ran.
+// Scenario replays with the default TraceCache ("auto") build and use this
+// cache transparently.
+func CompileTraces(descPath string, nranks int) (tibPath string, rebuilt bool, err error) {
+	return trace.CompileDescription(descPath, nranks, 0)
+}
+
+// TraceDescriptionEntries returns how many trace files a description file
+// lists; a single entry is the merged layout and needs an explicit rank
+// count to compile or replay.
+func TraceDescriptionEntries(descPath string) (int, error) {
+	return trace.DescriptionEntries(descPath)
+}
+
+// LoadTIB opens a compiled .tib trace as a provider. The provider holds a
+// file descriptor; close it (it is an io.Closer) when done.
+func LoadTIB(path string) (TraceProvider, error) {
+	return trace.OpenTIB(path)
+}
+
+// WriteTIB writes per-rank actions directly as a standalone compiled .tib
+// file, usable anywhere a trace description is accepted.
+func WriteTIB(path string, perRank [][]Action) error {
+	return trace.WriteTIBFile(path, perRank)
+}
+
 // ValidateTraces checks cross-rank consistency (matched sends/receives,
 // balanced collectives).
 func ValidateTraces(p TraceProvider) error {
