@@ -5,13 +5,19 @@
 // records the performance trajectory per commit:
 //
 //	go test -bench . -benchtime=1x -run '^$' ./... | benchjson > BENCH_ci.json
+//
+// With -compare FILE it instead prints a ns/op ratio table of the current
+// run against a previously produced JSON document (the committed
+// BENCH_baseline.json), so regressions are visible directly in the CI log.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,6 +37,9 @@ type Metrics struct {
 }
 
 func main() {
+	compareWith := flag.String("compare", "", "baseline JSON file: print ns/op ratios instead of JSON")
+	flag.Parse()
+
 	results := make(map[string]Metrics)
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -62,6 +71,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compareWith != "" {
+		if err := compare(results, *compareWith); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// encoding/json sorts map keys, so artifact diffs stay readable
 	// across commits.
 	enc := json.NewEncoder(os.Stdout)
@@ -70,6 +87,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compare prints a sorted current-vs-baseline ns/op table for every
+// benchmark present in both runs, and lists benchmarks only one side has.
+func compare(current map[string]Metrics, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]Metrics)
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-70s %14s %14s %7s\n", "benchmark", "current ns/op", "baseline ns/op", "ratio")
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "%-70s %14.0f %14s %7s\n", name, cur.NsPerOp, "-", "new")
+			continue
+		}
+		ratio := 0.0
+		if base.NsPerOp > 0 {
+			ratio = cur.NsPerOp / base.NsPerOp
+		}
+		fmt.Fprintf(w, "%-70s %14.0f %14.0f %6.2fx\n", name, cur.NsPerOp, base.NsPerOp, ratio)
+	}
+	var gone []string
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-70s %14s %14.0f %7s\n", name, "-", baseline[name].NsPerOp, "gone")
+	}
+	return nil
 }
 
 // parseBenchLine parses one result line, e.g.

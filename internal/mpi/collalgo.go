@@ -79,7 +79,7 @@ func (r *Rank) BcastWith(algo BcastAlgo, bytes float64, root int) {
 					// segment would be pushed eagerly at once, the link
 					// would be shared among all of them, and the pipeline
 					// would degenerate into a store-and-forward chain.
-					r.proc.Put(collMailbox(r.rank, next), seg)
+					r.proc.Put(r.world.coll(r.rank, next), seg)
 				} else {
 					// Downstream ranks are naturally paced by arrivals.
 					r.sendColl(next, seg)

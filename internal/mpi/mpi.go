@@ -65,6 +65,11 @@ type World struct {
 	engine *sim.Engine
 	hosts  []*sim.Host
 	cfg    ModelConfig
+	// Per-pair mailbox names, precomputed once: formatting them on every
+	// send/recv shows up as a top cost in large replays (an alltoall does
+	// O(P²) sends, each historically paying two fmt.Sprintf calls).
+	p2pNames  [][]string
+	collNames [][]string
 }
 
 // NewWorld creates a communicator of len(hosts) ranks.
@@ -80,17 +85,27 @@ func NewWorld(engine *sim.Engine, hosts []*sim.Host, cfg ModelConfig) (*World, e
 	w := &World{engine: engine, hosts: hosts, cfg: cfg}
 	// Pin every directed pair mailbox, for both the application ("p") and
 	// collective ("c") namespaces, to the destination host.
+	w.p2pNames = make([][]string, len(hosts))
+	w.collNames = make([][]string, len(hosts))
 	for src := range hosts {
+		w.p2pNames[src] = make([]string, len(hosts))
+		w.collNames[src] = make([]string, len(hosts))
 		for dst := range hosts {
 			if src == dst {
 				continue
 			}
-			engine.PinMailbox(p2pMailbox(src, dst), hosts[dst])
-			engine.PinMailbox(collMailbox(src, dst), hosts[dst])
+			w.p2pNames[src][dst] = p2pMailbox(src, dst)
+			w.collNames[src][dst] = collMailbox(src, dst)
+			engine.PinMailbox(w.p2pNames[src][dst], hosts[dst])
+			engine.PinMailbox(w.collNames[src][dst], hosts[dst])
 		}
 	}
 	return w, nil
 }
+
+// p2p and coll return the precomputed mailbox names for a directed pair.
+func (w *World) p2p(src, dst int) string  { return w.p2pNames[src][dst] }
+func (w *World) coll(src, dst int) string { return w.collNames[src][dst] }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.hosts) }

@@ -14,10 +14,10 @@ func (r *Rank) Send(dst int, bytes float64) {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(p2pMailbox(r.rank, dst), bytes, nil)
+		r.proc.PutDetached(r.world.p2p(r.rank, dst), bytes, nil)
 		return
 	}
-	r.proc.Put(p2pMailbox(r.rank, dst), bytes)
+	r.proc.Put(r.world.p2p(r.rank, dst), bytes)
 }
 
 // Isend is the nonblocking send. Eager messages complete immediately (the
@@ -31,17 +31,17 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(p2pMailbox(r.rank, dst), bytes, nil)
+		r.proc.PutDetached(r.world.p2p(r.rank, dst), bytes, nil)
 		return &Request{}
 	}
-	return &Request{comm: r.proc.PutAsync(p2pMailbox(r.rank, dst), bytes)}
+	return &Request{comm: r.proc.PutAsync(r.world.p2p(r.rank, dst), bytes)}
 }
 
 // Recv blocks until a message from src has fully arrived.
 func (r *Rank) Recv(src int) {
 	r.checkPeer(src, "Recv")
 	cfg := r.world.cfg
-	r.proc.Get(p2pMailbox(src, r.rank))
+	r.proc.Get(r.world.p2p(src, r.rank))
 	if cfg.RecvOverhead > 0 {
 		r.proc.Sleep(cfg.RecvOverhead)
 	}
@@ -50,7 +50,7 @@ func (r *Rank) Recv(src int) {
 // Irecv posts a nonblocking receive from src.
 func (r *Rank) Irecv(src int) *Request {
 	r.checkPeer(src, "Irecv")
-	return &Request{comm: r.proc.GetAsync(p2pMailbox(src, r.rank))}
+	return &Request{comm: r.proc.GetAsync(r.world.p2p(src, r.rank))}
 }
 
 // Wait blocks until the request completes.
@@ -114,10 +114,10 @@ func (r *Rank) sendColl(dst int, bytes float64) {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(collMailbox(r.rank, dst), bytes, nil)
+		r.proc.PutDetached(r.world.coll(r.rank, dst), bytes, nil)
 		return
 	}
-	r.proc.Put(collMailbox(r.rank, dst), bytes)
+	r.proc.Put(r.world.coll(r.rank, dst), bytes)
 }
 
 func (r *Rank) isendColl(dst int, bytes float64) *Request {
@@ -127,15 +127,15 @@ func (r *Rank) isendColl(dst int, bytes float64) *Request {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(collMailbox(r.rank, dst), bytes, nil)
+		r.proc.PutDetached(r.world.coll(r.rank, dst), bytes, nil)
 		return &Request{}
 	}
-	return &Request{comm: r.proc.PutAsync(collMailbox(r.rank, dst), bytes)}
+	return &Request{comm: r.proc.PutAsync(r.world.coll(r.rank, dst), bytes)}
 }
 
 func (r *Rank) recvColl(src int) {
 	cfg := r.world.cfg
-	r.proc.Get(collMailbox(src, r.rank))
+	r.proc.Get(r.world.coll(src, r.rank))
 	if cfg.RecvOverhead > 0 {
 		r.proc.Sleep(cfg.RecvOverhead)
 	}

@@ -131,6 +131,73 @@ func NewFlatCluster(cfg FlatConfig) (*Platform, error) {
 	return p, nil
 }
 
+// CrossbarConfig parameterizes a full-bisection cluster.
+type CrossbarConfig struct {
+	Name string
+	// Hosts is the number of nodes.
+	Hosts int
+	// Speed is the per-host compute rate (instructions/s).
+	Speed float64
+	// LinkBandwidth/LinkLatency describe each node's uplink into and
+	// downlink out of the switching fabric.
+	LinkBandwidth float64
+	LinkLatency   float64
+	// LoopbackLatency for intra-node transfers.
+	LoopbackLatency float64
+}
+
+// NewCrossbarCluster builds a full-bisection (non-blocking crossbar)
+// cluster: each node owns a dedicated uplink and downlink, and the fabric
+// itself never contends, so a transfer crosses exactly the sender's uplink
+// and the receiver's downlink. Disjoint transfers thus share no link at
+// all — the topology of modern fat-tree clusters at full bisection, and the
+// shape under which the kernel's per-component incremental solver pays off
+// most.
+func NewCrossbarCluster(cfg CrossbarConfig) (*Platform, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("platform: crossbar cluster needs at least one host, got %d", cfg.Hosts)
+	}
+	if cfg.LinkBandwidth <= 0 {
+		return nil, fmt.Errorf("platform: non-positive bandwidth in crossbar cluster config")
+	}
+	p := &Platform{
+		Name:            cfg.Name,
+		byName:          make(map[string]*sim.Host, cfg.Hosts),
+		LoopbackLatency: cfg.LoopbackLatency,
+	}
+	type ports struct{ up, down *sim.Link }
+	links := make(map[*sim.Host]ports, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		h := &sim.Host{Name: fmt.Sprintf("%s-%d", cfg.Name, i), Speed: cfg.Speed}
+		up := &sim.Link{
+			Name:      fmt.Sprintf("%s-%d-up", cfg.Name, i),
+			Bandwidth: cfg.LinkBandwidth,
+			Latency:   cfg.LinkLatency,
+		}
+		down := &sim.Link{
+			Name:      fmt.Sprintf("%s-%d-down", cfg.Name, i),
+			Bandwidth: cfg.LinkBandwidth,
+			Latency:   cfg.LinkLatency,
+		}
+		p.hosts = append(p.hosts, h)
+		p.byName[h.Name] = h
+		p.links = append(p.links, up, down)
+		links[h] = ports{up, down}
+	}
+	p.routeFn = func(src, dst *sim.Host) sim.Route {
+		ls, ok1 := links[src]
+		ld, ok2 := links[dst]
+		if !ok1 || !ok2 {
+			panic(fmt.Sprintf("platform %s: route between foreign hosts %s and %s", cfg.Name, src, dst))
+		}
+		return sim.Route{
+			Links:   []*sim.Link{ls.up, ld.down},
+			Latency: ls.up.Latency + ld.down.Latency,
+		}
+	}
+	return p, nil
+}
+
 // HierConfig parameterizes a cabinet-based hierarchical cluster.
 type HierConfig struct {
 	Name string

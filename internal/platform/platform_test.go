@@ -282,3 +282,70 @@ func TestPlatformInEngine(t *testing.T) {
 		t.Fatalf("end = %v, want %v", end, want)
 	}
 }
+
+func TestCrossbarClusterShape(t *testing.T) {
+	p, err := NewCrossbarCluster(CrossbarConfig{
+		Name: "xbar", Hosts: 4, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+	// One uplink and one downlink per host, no shared fabric link.
+	if len(p.Links()) != 8 {
+		t.Fatalf("links = %d, want 8", len(p.Links()))
+	}
+	r := p.Route(p.Host(0), p.Host(3))
+	if len(r.Links) != 2 {
+		t.Fatalf("route links = %d, want 2 (up, down)", len(r.Links))
+	}
+	if math.Abs(r.Latency-2e-5) > 1e-15 {
+		t.Fatalf("route latency = %v, want 2e-5", r.Latency)
+	}
+	// Full bisection: routes of disjoint host pairs share no link.
+	r2 := p.Route(p.Host(1), p.Host(2))
+	for _, a := range r.Links {
+		for _, b := range r2.Links {
+			if a == b {
+				t.Fatalf("disjoint pairs share link %s", a.Name)
+			}
+		}
+	}
+	// Same sender to two receivers shares exactly the uplink.
+	r3 := p.Route(p.Host(0), p.Host(2))
+	if r.Links[0] != r3.Links[0] {
+		t.Fatal("same sender should reuse its uplink")
+	}
+	if r.Links[1] == r3.Links[1] {
+		t.Fatal("different receivers must not share a downlink")
+	}
+}
+
+func TestCrossbarClusterRejectsBadConfig(t *testing.T) {
+	if _, err := NewCrossbarCluster(CrossbarConfig{Hosts: 0, LinkBandwidth: 1}); err == nil {
+		t.Error("expected error for zero hosts")
+	}
+	if _, err := NewCrossbarCluster(CrossbarConfig{Hosts: 2}); err == nil {
+		t.Error("expected error for zero link bandwidth")
+	}
+}
+
+func TestSpecBuildCrossbar(t *testing.T) {
+	s := &Spec{
+		Name: "x", Topology: "crossbar", Hosts: 3, Speed: 1e9,
+		LinkBandwidth: 1e9, LinkLatency: 1e-6,
+	}
+	p, model, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != nil {
+		t.Fatal("no factors requested, model should be nil")
+	}
+	if p.Size() != 3 || len(p.Links()) != 6 {
+		t.Fatalf("crossbar spec built size=%d links=%d, want 3/6", p.Size(), len(p.Links()))
+	}
+}

@@ -14,7 +14,7 @@ import (
 // network factors.
 type Spec struct {
 	Name     string `json:"name"`
-	Topology string `json:"topology"` // "flat" or "hierarchical"
+	Topology string `json:"topology"` // "flat", "hierarchical", or "crossbar"
 
 	Hosts           int `json:"hosts,omitempty"`
 	Cabinets        int `json:"cabinets,omitempty"`
@@ -58,6 +58,15 @@ func (s *Spec) Build() (*Platform, *PiecewiseModel, error) {
 			BackboneBandwidth: s.BackboneBandwidth,
 			BackboneLatency:   s.BackboneLatency,
 			LoopbackLatency:   s.LoopbackLatency,
+		})
+	case "crossbar":
+		p, err = NewCrossbarCluster(CrossbarConfig{
+			Name:            s.Name,
+			Hosts:           s.Hosts,
+			Speed:           s.Speed,
+			LinkBandwidth:   s.LinkBandwidth,
+			LinkLatency:     s.LinkLatency,
+			LoopbackLatency: s.LoopbackLatency,
 		})
 	case "hierarchical":
 		p, err = NewHierarchicalCluster(HierConfig{

@@ -1,0 +1,136 @@
+// Large-scale kernel benchmarks. They live in the external test package so
+// they can drive the kernel through internal/mpi and internal/platform, the
+// way real replays do.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/platform"
+	"tireplay/internal/sim"
+	"tireplay/internal/stats"
+)
+
+// alltoallSize returns a deterministic per-pair payload, jittered above the
+// rendezvous threshold so flows desynchronize: every completion lands on its
+// own event, which is the adversarial regime for the sharing solver (a
+// synchronized alltoall batches whole rounds into single recomputes and
+// hides the solver's scaling).
+func alltoallSize(src, dst, ranks int) float64 {
+	rng := stats.NewRNG(0xa2a).Fork(uint64(src*ranks + dst))
+	return 65536 * (1 + rng.Float64())
+}
+
+// runLargeAlltoAll simulates a pairwise-exchange alltoall (the algorithm of
+// mpi.Rank.AllToAll, with heterogeneous payloads) on a full-bisection
+// cluster and returns the engine stats.
+func runLargeAlltoAll(b *testing.B, ranks int, opts ...sim.Option) sim.Stats {
+	b.Helper()
+	plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+		Name: "xbar", Hosts: ranks, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(plat, opts...)
+	w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		w.Spawn(rank, func(r *mpi.Rank) {
+			p := r.Size()
+			me := r.Rank()
+			for i := 1; i < p; i++ {
+				dst := (me + i) % p
+				src := (me - i + p) % p
+				r.SendRecv(dst, alltoallSize(me, dst, p), src)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return e.Stats()
+}
+
+// BenchmarkLargeAlltoAll measures the fluid-network hot path at scale:
+// a desynchronized 128- and 256-rank alltoall under the incremental
+// per-component solver, and the same workload with the from-scratch solver
+// the kernel historically ran on every flow change. The flows-resolved
+// metric shows why the gap widens with rank count: the incremental solver
+// re-solves a near-constant handful of flows per recompute while the
+// from-scratch pass re-solves every active flow.
+func BenchmarkLargeAlltoAll(b *testing.B) {
+	for _, ranks := range []int{128, 256} {
+		for _, mode := range []struct {
+			name string
+			opts []sim.Option
+		}{
+			{"incremental", nil},
+			{"fromscratch", []sim.Option{sim.WithFromScratchSharing()}},
+		} {
+			b.Run(fmt.Sprintf("ranks=%d/%s", ranks, mode.name), func(b *testing.B) {
+				var st sim.Stats
+				for i := 0; i < b.N; i++ {
+					st = runLargeAlltoAll(b, ranks, mode.opts...)
+				}
+				b.ReportMetric(float64(st.FlowsResolved)/float64(st.ShareRecomputes), "flows-resolved/recompute")
+			})
+		}
+	}
+}
+
+// TestLargeAlltoAllModesAgree is the scaled-down correctness companion of
+// the benchmark: the incremental and from-scratch solvers must produce
+// bit-identical engine end times on the benchmark workload.
+func TestLargeAlltoAllModesAgree(t *testing.T) {
+	ranks := 32
+	if testing.Short() {
+		ranks = 12
+	}
+	run := func(opts ...sim.Option) (float64, sim.Stats) {
+		plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+			Name: "xbar", Hosts: ranks, Speed: 1e9,
+			LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.NewEngine(plat, opts...)
+		w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < ranks; rank++ {
+			w.Spawn(rank, func(r *mpi.Rank) {
+				p := r.Size()
+				me := r.Rank()
+				for i := 1; i < p; i++ {
+					dst := (me + i) % p
+					src := (me - i + p) % p
+					r.SendRecv(dst, alltoallSize(me, dst, p), src)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Stats()
+	}
+	incEnd, incStats := run()
+	refEnd, refStats := run(sim.WithFromScratchSharing())
+	if incEnd != refEnd {
+		t.Fatalf("end time %v (incremental) != %v (from-scratch)", incEnd, refEnd)
+	}
+	if incStats.CommsCompleted != refStats.CommsCompleted {
+		t.Fatalf("comms %d != %d", incStats.CommsCompleted, refStats.CommsCompleted)
+	}
+	if incStats.FlowsResolved >= refStats.FlowsResolved {
+		t.Fatalf("incremental resolved %d flows, from-scratch %d: expected strictly fewer",
+			incStats.FlowsResolved, refStats.FlowsResolved)
+	}
+}

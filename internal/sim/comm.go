@@ -62,6 +62,12 @@ type Comm struct {
 	waiters    []*Proc
 	startTime  float64
 	finishTime float64
+
+	// flowStore is the comm's fluid stage, embedded to avoid a separate
+	// allocation per transfer; fl points at it while flowing. waiterBuf
+	// similarly backs waiters for the common one-or-two-waiter case.
+	flowStore flow
+	waiterBuf [2]*Proc
 }
 
 // State returns the comm's lifecycle state.
@@ -206,16 +212,21 @@ func (e *Engine) startComm(c *Comm) {
 	c.state = CommLatency
 	c.startTime = e.now
 	e.stats.CommsStarted++
-	e.after(latency, func() {
-		if c.Size <= 0 {
-			e.completeComm(c)
-			return
-		}
-		c.state = CommFlowing
-		c.fl = &flow{comm: c, links: route.Links, cap: cap, rem: c.Size}
-		e.flows = append(e.flows, c.fl)
-		e.sharesDirty = true
-	})
+	c.flowStore = flow{comm: c, links: route.Links, cap: cap, rem: c.Size}
+	e.afterFlow(latency, c)
+}
+
+// flowStage moves a comm whose latency stage has elapsed into its fluid
+// (bandwidth-shared) stage, or completes it outright when it carries no
+// payload.
+func (e *Engine) flowStage(c *Comm) {
+	if c.Size <= 0 {
+		e.completeComm(c)
+		return
+	}
+	c.state = CommFlowing
+	c.fl = &c.flowStore
+	e.addFlow(c.fl)
 }
 
 // completeComm marks a transfer done and wakes every process waiting on it.

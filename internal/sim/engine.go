@@ -14,8 +14,15 @@ type Stats struct {
 	TimersFired     int64
 	CommsStarted    int64
 	CommsCompleted  int64
-	ShareRecomputes int64
+	ShareRecomputes int64 // recompute passes (events with a dirty flow set)
 	Events          int64 // time-advance steps
+	// ComponentsResolved counts connected components re-solved by the
+	// incremental max-min solver and FlowsResolved the flows they contained;
+	// FlowsResolved/ComponentsResolved is the mean re-solve scope, the
+	// measure of how much work incrementality avoids versus a from-scratch
+	// solve (which re-solves every active flow on every pass).
+	ComponentsResolved int64
+	FlowsResolved      int64
 }
 
 // Engine is a sequential discrete-event simulator. Simulated processes run
@@ -27,10 +34,9 @@ type Engine struct {
 	netModel NetworkModel
 
 	procs    []*Proc
-	runq     []*Proc
+	runq     procRing
 	nalive   int
 	timers   timerHeap
-	flows    []*flow
 	timerSeq int64
 	commSeq  int64
 	procSeq  int64
@@ -38,9 +44,29 @@ type Engine struct {
 	mailboxes    map[string]*mailbox
 	mailboxHosts map[string]*Host
 
+	// Fluid-network state: all active flows, the per-link registries tying
+	// them into connected components, the min-heap of projected completion
+	// times, and the flows stalled at rate 0 (re-examined every recompute
+	// and reported in deadlock diagnostics).
+	active      []*flow
+	linkStates  map[*Link]*linkState
+	completions flowHeap
+	stalled     []*flow
+	flowSeq     int64
+
+	// Incremental-solver bookkeeping: seeds accumulated since the last
+	// recompute, the traversal generation, reusable scratch buffers, and
+	// the from-scratch escape hatch.
 	sharesDirty bool
-	linkIndex   map[*Link]int
-	linkStates  []linkScratch
+	dirtyFlows  []*flow
+	dirtyLinks  []*linkState
+	mark        int64
+	compBuf     []*flow
+	compLinkBuf []*linkState
+	rateBuf     []float64
+	fixedBuf    []bool
+	stallSeeds  []*flow
+	fromScratch bool
 
 	yield   chan struct{}
 	current *Proc
@@ -57,6 +83,14 @@ func WithNetworkModel(m NetworkModel) Option {
 	return func(e *Engine) { e.netModel = m }
 }
 
+// WithFromScratchSharing disables the incremental max-min solver: every
+// recompute re-solves every active flow, as the kernel originally did. The
+// allocation is identical by construction; the option exists as the
+// reference for equivalence tests and before/after benchmarks.
+func WithFromScratchSharing() Option {
+	return func(e *Engine) { e.fromScratch = true }
+}
+
 // NewEngine creates an engine that routes communications with router.
 func NewEngine(router Router, opts ...Option) *Engine {
 	e := &Engine{
@@ -64,7 +98,7 @@ func NewEngine(router Router, opts ...Option) *Engine {
 		netModel:     DefaultModel{},
 		mailboxes:    make(map[string]*mailbox),
 		mailboxHosts: make(map[string]*Host),
-		linkIndex:    make(map[*Link]int),
+		linkStates:   make(map[*Link]*linkState),
 		yield:        make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -93,21 +127,29 @@ func (e *Engine) wake(p *Proc) {
 		return
 	}
 	p.state = procRunnable
-	p.blockedOn = ""
-	e.runq = append(e.runq, p)
+	p.blockedOn = blockInfo{}
+	e.runq.push(p)
 }
 
 // DeadlockError is returned by Run when simulated processes remain blocked
 // with no pending activity to wake them (e.g. a receive whose matching send
-// is never posted — typically a malformed trace).
+// is never posted — typically a malformed trace). Stalled lists in-flight
+// transfers frozen at rate 0 (their links' capacity fully consumed by
+// cap-bounded flows), which block their waiters just as surely as a missing
+// match does.
 type DeadlockError struct {
 	Time    float64
 	Blocked []string // "name: reason" for each blocked process
+	Stalled []string // description of each zero-rate flow
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked process(es): %s",
+	msg := fmt.Sprintf("sim: deadlock at t=%g with %d blocked process(es): %s",
 		d.Time, len(d.Blocked), strings.Join(d.Blocked, "; "))
+	if len(d.Stalled) > 0 {
+		msg += fmt.Sprintf("; %d stalled flow(s): %s", len(d.Stalled), strings.Join(d.Stalled, "; "))
+	}
+	return msg
 }
 
 // Run executes the simulation until every process has finished, a deadlock
@@ -115,10 +157,8 @@ func (d *DeadlockError) Error() string {
 func (e *Engine) Run() error {
 	for {
 		// Phase 1: let every runnable process advance until it blocks.
-		for len(e.runq) > 0 && e.err == nil {
-			p := e.runq[0]
-			e.runq = e.runq[1:]
-			e.resume(p)
+		for e.runq.len() > 0 && e.err == nil {
+			e.resume(e.runq.pop())
 		}
 		if e.err != nil {
 			return e.err
@@ -127,7 +167,7 @@ func (e *Engine) Run() error {
 			return nil
 		}
 		// Phase 2: advance simulated time to the next event.
-		if len(e.timers) == 0 && len(e.flows) == 0 {
+		if len(e.timers) == 0 && len(e.active) == 0 {
 			return e.deadlock()
 		}
 		if e.sharesDirty {
@@ -150,11 +190,16 @@ func (e *Engine) deadlock() error {
 			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockedOn))
 		}
 	}
-	return &DeadlockError{Time: e.now, Blocked: blocked}
+	var stalled []string
+	for _, f := range e.stalled {
+		stalled = append(stalled, fmt.Sprintf("comm %d on %q (%s -> %s): %g of %g bytes left at rate 0",
+			f.comm.ID, f.comm.Mailbox, f.comm.src, f.comm.dst, f.rem, f.comm.Size))
+	}
+	return &DeadlockError{Time: e.now, Blocked: blocked, Stalled: stalled}
 }
 
 // nextEventDelta returns the time until the earliest pending transition:
-// the next timer deadline or the earliest flow completion.
+// the next timer deadline or the earliest projected flow completion.
 func (e *Engine) nextEventDelta() float64 {
 	dt := math.Inf(1)
 	if len(e.timers) > 0 {
@@ -162,11 +207,9 @@ func (e *Engine) nextEventDelta() float64 {
 			dt = d
 		}
 	}
-	for _, f := range e.flows {
-		if f.rate > 0 {
-			if d := f.rem / f.rate; d < dt {
-				dt = d
-			}
+	if len(e.completions) > 0 {
+		if d := e.completions[0].finish - e.now; d < dt {
+			dt = d
 		}
 	}
 	if dt < 0 {
@@ -175,30 +218,31 @@ func (e *Engine) nextEventDelta() float64 {
 	return dt
 }
 
-// advance moves simulated time forward by dt, progressing flows, completing
-// finished transfers, and firing due timers.
+// completable reports whether f's transfer is over at simulated time now.
+// byteEps absorbs floating-point residue: a flow within a few ULPs of empty
+// is complete. The finish <= now clause additionally catches projections so
+// close that now+dt rounds to now, which would otherwise spin the event
+// loop at zero dt.
+func (f *flow) completable(now float64) bool {
+	if math.IsInf(f.rate, 1) || f.finish <= now {
+		return true
+	}
+	byteEps := 1e-9 + 1e-12*f.comm.Size
+	return f.rem-f.rate*(now-f.lastT) <= byteEps
+}
+
+// advance moves simulated time forward by dt, completing finished transfers
+// and firing due timers.
 func (e *Engine) advance(dt float64) {
 	e.now += dt
-	// Progress flows and collect completions. byteEps absorbs floating-point
-	// residue: a flow within a few ULPs of empty is complete.
-	if len(e.flows) > 0 {
-		kept := e.flows[:0]
-		for _, f := range e.flows {
-			if f.rate > 0 && !math.IsInf(f.rate, 1) {
-				f.rem -= f.rate * dt
-			}
-			byteEps := 1e-9 + 1e-12*f.comm.Size
-			if math.IsInf(f.rate, 1) || f.rem <= byteEps {
-				e.sharesDirty = true
-				e.completeComm(f.comm)
-			} else {
-				kept = append(kept, f)
-			}
-		}
-		e.flows = kept
+	for len(e.completions) > 0 && e.completions[0].completable(e.now) {
+		f := e.completions.pop()
+		e.removeFlow(f)
+		e.completeComm(f.comm)
 	}
 	// Fire due timers. A fired timer may schedule new timers or start flows;
-	// both are picked up on the next loop iteration.
+	// both are picked up on the next loop iteration. Canceled timers are
+	// removed from the heap eagerly by cancel; the flag check is a backstop.
 	const timeEps = 1e-12
 	for len(e.timers) > 0 && e.timers[0].deadline <= e.now+timeEps {
 		t := heap.Pop(&e.timers).(*timer)
@@ -206,6 +250,6 @@ func (e *Engine) advance(dt float64) {
 			continue
 		}
 		e.stats.TimersFired++
-		t.fire()
+		e.dispatch(t)
 	}
 }

@@ -1,0 +1,47 @@
+package sim
+
+import "container/heap"
+
+// flowHeap is an indexed min-heap of active flows keyed by projected
+// completion time, with arrival-sequence tie-breaking so same-instant
+// completions are processed in arrival order. It replaces the historical
+// per-event linear scan over all flows: the earliest completion is read off
+// the top, and a flow's key is touched only when the solver changes its
+// rate.
+type flowHeap []*flow
+
+func (h flowHeap) Len() int { return len(h) }
+
+func (h flowHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h flowHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *flowHeap) Push(x any) {
+	f := x.(*flow)
+	f.heapIdx = len(*h)
+	*h = append(*h, f)
+}
+
+func (h *flowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.heapIdx = -1
+	*h = old[:n-1]
+	return f
+}
+
+func (h *flowHeap) push(f *flow)   { heap.Push(h, f) }
+func (h *flowHeap) fix(f *flow)    { heap.Fix(h, f.heapIdx) }
+func (h *flowHeap) remove(f *flow) { heap.Remove(h, f.heapIdx) }
+func (h *flowHeap) pop() *flow     { return heap.Pop(h).(*flow) }

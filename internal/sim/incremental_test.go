@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tireplay/internal/stats"
+)
+
+// referenceShares is the historical from-scratch max-min solver, preserved
+// verbatim as the oracle for the incremental solver: one pass of progressive
+// filling over the complete flow set, re-deriving every rate. The
+// incremental solver must reproduce its allocation bit-for-bit after any
+// sequence of arrivals and departures.
+func referenceShares(flows []*flow) []float64 {
+	rates := make([]float64, len(flows))
+	if len(flows) == 0 {
+		return rates
+	}
+	type scratch struct {
+		rem float64
+		n   int
+	}
+	idx := make(map[*Link]int)
+	var states []scratch
+	for _, f := range flows {
+		for _, l := range f.links {
+			if _, ok := idx[l]; !ok {
+				idx[l] = len(states)
+				states = append(states, scratch{rem: l.Bandwidth})
+			}
+			states[idx[l]].n++
+		}
+	}
+	unfixed := len(flows)
+	fixed := make([]bool, len(flows))
+	for unfixed > 0 {
+		level := math.Inf(1)
+		for _, s := range states {
+			if s.n > 0 {
+				if share := s.rem / float64(s.n); share < level {
+					level = share
+				}
+			}
+		}
+		capBound := false
+		for i, f := range flows {
+			if !fixed[i] && f.cap > 0 && f.cap <= level {
+				level = f.cap
+				capBound = true
+			}
+		}
+		if math.IsInf(level, 1) {
+			for i := range flows {
+				if !fixed[i] {
+					rates[i] = math.Inf(1)
+					fixed[i] = true
+					unfixed--
+				}
+			}
+			break
+		}
+		const relEps = 1e-12
+		progressed := false
+		for i, f := range flows {
+			if fixed[i] {
+				continue
+			}
+			constrained := capBound && f.cap > 0 && f.cap <= level*(1+relEps)
+			if !constrained {
+				for _, l := range f.links {
+					s := &states[idx[l]]
+					if s.n > 0 && s.rem/float64(s.n) <= level*(1+relEps) {
+						constrained = true
+						break
+					}
+				}
+			}
+			if !constrained {
+				continue
+			}
+			rates[i] = level
+			fixed[i] = true
+			unfixed--
+			progressed = true
+			for _, l := range f.links {
+				s := &states[idx[l]]
+				s.rem -= level
+				if s.rem < 0 {
+					s.rem = 0
+				}
+				s.n--
+			}
+		}
+		if !progressed {
+			for i, f := range flows {
+				if fixed[i] {
+					continue
+				}
+				rates[i] = level
+				fixed[i] = true
+				unfixed--
+				for _, l := range f.links {
+					s := &states[idx[l]]
+					s.rem -= level
+					if s.rem < 0 {
+						s.rem = 0
+					}
+					s.n--
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// TestIncrementalSolverMatchesReference drives randomized flow
+// arrival/departure sequences through the incremental component solver and
+// checks after every mutation that each active flow's rate is bit-identical
+// to a from-scratch progressive filling of the full flow set.
+func TestIncrementalSolverMatchesReference(t *testing.T) {
+	rng := stats.NewRNG(0x5eed)
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		nLinks := 2 + int(rng.Uint64()%10)
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = &Link{Name: fmt.Sprintf("l%d", i), Bandwidth: 1 + 99*rng.Float64()}
+		}
+		e := NewEngine(pairRouter{links[0]})
+		var live []*flow
+		for step := 0; step < 80; step++ {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				maxLinks := 3
+				if nLinks < maxLinks {
+					maxLinks = nLinks
+				}
+				n := 1 + int(rng.Uint64()%uint64(maxLinks))
+				seen := map[int]bool{}
+				var ls []*Link
+				for len(ls) < n {
+					k := int(rng.Uint64() % uint64(nLinks))
+					if !seen[k] {
+						seen[k] = true
+						ls = append(ls, links[k])
+					}
+				}
+				var cap float64
+				if rng.Float64() < 0.4 {
+					cap = 0.5 + 49*rng.Float64()
+				}
+				f := &flow{comm: mkComm(1e6), links: ls, cap: cap, rem: 1e6}
+				e.addFlow(f)
+				live = append(live, f)
+			} else {
+				i := int(rng.Uint64() % uint64(len(live)))
+				e.removeFlow(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			e.recomputeShares()
+			want := referenceShares(live)
+			for i, f := range live {
+				if f.rate != want[i] {
+					t.Fatalf("trial %d step %d: flow %d rate = %v, want %v (bit-identical)",
+						trial, step, i, f.rate, want[i])
+				}
+			}
+		}
+	}
+}
+
+// crossRouter is a full-bisection test topology: every host owns an uplink
+// and a downlink, and a fraction of the pairs additionally cross a shared
+// backbone, so concurrent transfers form several connected components of
+// varying size.
+type crossRouter struct {
+	up, down []*Link
+	backbone *Link
+	hosts    map[*Host]int
+}
+
+func (r crossRouter) Route(src, dst *Host) Route {
+	s, d := r.hosts[src], r.hosts[dst]
+	ls := []*Link{r.up[s]}
+	if (s+d)%3 == 0 {
+		ls = append(ls, r.backbone)
+	}
+	ls = append(ls, r.down[d])
+	lat := 0.0
+	for _, l := range ls {
+		lat += l.Latency
+	}
+	return Route{Links: ls, Latency: lat}
+}
+
+// runEquivalenceWorkload executes one randomized multi-component workload
+// and returns the end time plus every comm's finish time.
+func runEquivalenceWorkload(seed uint64, opts ...Option) (float64, []float64) {
+	rng := stats.NewRNG(seed)
+	n := 6 + int(rng.Uint64()%6) // sender/receiver pairs
+	r := crossRouter{
+		backbone: &Link{Name: "bb", Bandwidth: 5e7 * (1 + rng.Float64()), Latency: 1e-5},
+		hosts:    make(map[*Host]int),
+	}
+	hosts := make([]*Host, 2*n)
+	for i := range hosts {
+		hosts[i] = &Host{Name: fmt.Sprintf("h%d", i), Speed: 1e9}
+		r.hosts[hosts[i]] = i
+	}
+	for i := 0; i < 2*n; i++ {
+		r.up = append(r.up, &Link{Name: fmt.Sprintf("u%d", i), Bandwidth: 1e7 * (1 + rng.Float64()), Latency: 1e-6})
+		r.down = append(r.down, &Link{Name: fmt.Sprintf("d%d", i), Bandwidth: 1e7 * (1 + rng.Float64()), Latency: 1e-6})
+	}
+	// Pre-generate the whole workload so both engine configurations replay
+	// the exact same program.
+	rounds := 4 + int(rng.Uint64()%4)
+	sizes := make([][]float64, n)
+	pauses := make([][]float64, n)
+	for i := range sizes {
+		sizes[i] = make([]float64, rounds)
+		pauses[i] = make([]float64, rounds)
+		for k := range sizes[i] {
+			sizes[i][k] = 1e3 + 1e6*rng.Float64()
+			pauses[i][k] = 1e-4 * rng.Float64()
+		}
+	}
+
+	e := NewEngine(r, opts...)
+	comms := make([][]*Comm, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("s%d", i), hosts[i], func(p *Proc) {
+			for k := 0; k < rounds; k++ {
+				p.Sleep(pauses[i][k])
+				c := p.Put(fmt.Sprintf("mb%d", i), sizes[i][k])
+				comms[i] = append(comms[i], c)
+			}
+		})
+		e.Spawn(fmt.Sprintf("r%d", i), hosts[n+i], func(p *Proc) {
+			for k := 0; k < rounds; k++ {
+				p.Get(fmt.Sprintf("mb%d", i))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	var finishes []float64
+	for _, cs := range comms {
+		for _, c := range cs {
+			finishes = append(finishes, c.FinishTime())
+		}
+	}
+	return e.Now(), finishes
+}
+
+// TestEngineIncrementalEquivalence runs full simulations under the
+// incremental solver and the from-scratch reference mode and requires
+// bit-identical simulated times — end time and every transfer's finish.
+func TestEngineIncrementalEquivalence(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 7, 11, 13, 42, 1e6 + 7}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		endInc, finInc := runEquivalenceWorkload(seed)
+		endRef, finRef := runEquivalenceWorkload(seed, WithFromScratchSharing())
+		if endInc != endRef {
+			t.Fatalf("seed %d: end time %v (incremental) != %v (from-scratch)", seed, endInc, endRef)
+		}
+		if len(finInc) != len(finRef) {
+			t.Fatalf("seed %d: %d comms (incremental) != %d (from-scratch)", seed, len(finInc), len(finRef))
+		}
+		for i := range finInc {
+			if finInc[i] != finRef[i] {
+				t.Fatalf("seed %d: comm %d finish %v != %v", seed, i, finInc[i], finRef[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalResolvesFewerFlows checks the point of the exercise: on a
+// multi-component workload the incremental solver passes far fewer flows
+// through progressive filling than the from-scratch mode does, while
+// (per the equivalence tests) producing the same times.
+func TestIncrementalResolvesFewerFlows(t *testing.T) {
+	run := func(opts ...Option) Stats {
+		rng := stats.NewRNG(99)
+		_ = rng
+		e, hosts := equivalenceEngine(opts...)
+		n := len(hosts) / 2
+		for i := 0; i < n; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("s%d", i), hosts[i], func(p *Proc) {
+				for k := 0; k < 6; k++ {
+					p.Put(fmt.Sprintf("mb%d", i), 1e5*float64(1+(i+k)%5))
+				}
+			})
+			e.Spawn(fmt.Sprintf("r%d", i), hosts[n+i], func(p *Proc) {
+				for k := 0; k < 6; k++ {
+					p.Get(fmt.Sprintf("mb%d", i))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats()
+	}
+	inc := run()
+	ref := run(WithFromScratchSharing())
+	if inc.FlowsResolved >= ref.FlowsResolved {
+		t.Fatalf("incremental resolved %d flows, from-scratch %d: expected strictly fewer",
+			inc.FlowsResolved, ref.FlowsResolved)
+	}
+	if inc.ComponentsResolved == 0 {
+		t.Fatal("no components recorded by the incremental solver")
+	}
+}
+
+// equivalenceEngine builds a 16-pair full-bisection engine for counter and
+// stress tests.
+func equivalenceEngine(opts ...Option) (*Engine, []*Host) {
+	const n = 16
+	r := crossRouter{
+		backbone: &Link{Name: "bb", Bandwidth: 1e9, Latency: 1e-5},
+		hosts:    make(map[*Host]int),
+	}
+	hosts := make([]*Host, 2*n)
+	for i := range hosts {
+		hosts[i] = &Host{Name: fmt.Sprintf("h%d", i), Speed: 1e9}
+		r.hosts[hosts[i]] = i
+	}
+	for i := 0; i < 2*n; i++ {
+		r.up = append(r.up, &Link{Name: fmt.Sprintf("u%d", i), Bandwidth: 1e7, Latency: 1e-6})
+		r.down = append(r.down, &Link{Name: fmt.Sprintf("d%d", i), Bandwidth: 1e7, Latency: 1e-6})
+	}
+	return NewEngine(r, opts...), hosts
+}

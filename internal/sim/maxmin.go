@@ -4,6 +4,11 @@ import "math"
 
 // flow is the fluid stage of a communication: an amount of bytes crossing a
 // set of links, sharing their capacity with the other active flows.
+//
+// Progress is tracked lazily: rem is the number of bytes left as of lastT,
+// and finish is the projected absolute completion time under the current
+// rate. rem is only materialized when the rate changes or the flow
+// completes, so advancing simulated time costs nothing per flow.
 type flow struct {
 	comm  *Comm
 	links []*Link
@@ -11,58 +16,252 @@ type flow struct {
 	// bound). The SMPI model uses it to apply bandwidth correction factors.
 	cap float64
 	// rate is the current max-min allocation, recomputed whenever the flow
-	// set changes.
+	// set of this flow's connected component changes.
 	rate float64
-	// rem is the number of bytes still to transfer.
+	// rem is the number of bytes still to transfer as of lastT.
 	rem float64
+	// lastT is the simulated time at which rem was last materialized.
+	lastT float64
+	// finish is the projected absolute completion time (lastT + rem/rate);
+	// +Inf while the flow is stalled at rate 0.
+	finish float64
+
+	// seq is the arrival sequence number, breaking completion ties so that
+	// same-instant completions wake waiters in arrival order (deterministic,
+	// and identical to the historical scan order).
+	seq int64
+	// linkPos[i] is this flow's index in links[i]'s per-engine flow list,
+	// for O(1) removal.
+	linkPos  []int
+	heapIdx  int   // index in Engine.completions, -1 when absent
+	listIdx  int   // index in Engine.active
+	stallIdx int   // index in Engine.stalled, -1 when absent
+	mark     int64 // component-traversal generation marker
+	dirty    bool  // queued in Engine.dirtyFlows
 }
 
-// recomputeShares assigns a rate to every active flow using progressive
-// filling (bounded max-min fairness): repeatedly find the most constrained
-// resource — either a saturated link or a flow's own rate cap — fix the
-// corresponding flows, remove their consumption, and continue. The result is
-// the classic max-min allocation: no flow can increase its rate without
-// decreasing that of a flow with an equal or smaller rate.
-func (e *Engine) recomputeShares() {
-	e.sharesDirty = false
-	flows := e.flows
-	if len(flows) == 0 {
-		return
-	}
+// linkState is the engine-local registry for one link: the active flows
+// crossing it plus solver scratch. It lives on the engine rather than on the
+// Link because Link objects are shared by platforms across concurrently
+// running engines.
+type linkState struct {
+	link  *Link
+	flows []*flow
+	mark  int64 // component-traversal generation marker
+	dirty bool  // queued in Engine.dirtyLinks
 
-	// Collect the links crossed by at least one flow, deterministically
-	// (first-seen order).
-	idx := e.linkIndex
-	for k := range idx {
-		delete(idx, k)
+	// progressive-filling scratch.
+	rem float64
+	n   int
+}
+
+func (e *Engine) linkState(l *Link) *linkState {
+	ls, ok := e.linkStates[l]
+	if !ok {
+		ls = &linkState{link: l}
+		e.linkStates[l] = ls
 	}
-	states := e.linkStates[:0]
-	for _, f := range flows {
-		f.rate = 0
-		for _, l := range f.links {
-			if _, ok := idx[l]; !ok {
-				idx[l] = len(states)
-				states = append(states, linkScratch{rem: l.Bandwidth})
+	return ls
+}
+
+// addFlow registers a newly started flow and marks it for the next share
+// recomputation. The flow starts at rate 0 and enters the completion heap
+// once the solver assigns it a rate.
+func (e *Engine) addFlow(f *flow) {
+	e.flowSeq++
+	f.seq = e.flowSeq
+	f.lastT = e.now
+	f.finish = math.Inf(1)
+	f.heapIdx = -1
+	f.stallIdx = -1
+	f.listIdx = len(e.active)
+	e.active = append(e.active, f)
+	f.linkPos = make([]int, len(f.links))
+	for i, l := range f.links {
+		ls := e.linkState(l)
+		f.linkPos[i] = len(ls.flows)
+		ls.flows = append(ls.flows, f)
+	}
+	if !f.dirty {
+		f.dirty = true
+		e.dirtyFlows = append(e.dirtyFlows, f)
+	}
+	e.sharesDirty = true
+}
+
+// removeFlow unregisters a flow (normally on completion), releases its link
+// capacity to its neighbours by marking the crossed links dirty, and drops
+// it from the completion heap and stalled list.
+func (e *Engine) removeFlow(f *flow) {
+	last := len(e.active) - 1
+	moved := e.active[last]
+	e.active[f.listIdx] = moved
+	moved.listIdx = f.listIdx
+	e.active[last] = nil
+	e.active = e.active[:last]
+
+	for i, l := range f.links {
+		ls := e.linkStates[l]
+		pos := f.linkPos[i]
+		tail := len(ls.flows) - 1
+		m := ls.flows[tail]
+		ls.flows[pos] = m
+		ls.flows[tail] = nil
+		ls.flows = ls.flows[:tail]
+		if pos != tail {
+			// Fix the moved flow's back-pointer for this link (m may be f
+			// itself when a route crosses the same link twice). A flow
+			// crosses few links, so the scan is O(1) in practice.
+			for j, ml := range m.links {
+				if ml == l && m.linkPos[j] == tail {
+					m.linkPos[j] = pos
+					break
+				}
 			}
-			states[idx[l]].n++
+		}
+		if len(ls.flows) > 0 && !ls.dirty {
+			ls.dirty = true
+			e.dirtyLinks = append(e.dirtyLinks, ls)
 		}
 	}
-	e.linkStates = states
+	if f.heapIdx >= 0 {
+		e.completions.remove(f)
+	}
+	e.dropStalled(f)
+	f.dirty = false // a queued seed that no longer exists must not be solved
+	e.sharesDirty = true
+}
 
-	unfixed := len(flows)
-	fixed := make([]bool, len(flows))
+func (e *Engine) dropStalled(f *flow) {
+	if f.stallIdx < 0 {
+		return
+	}
+	last := len(e.stalled) - 1
+	m := e.stalled[last]
+	e.stalled[f.stallIdx] = m
+	m.stallIdx = f.stallIdx
+	e.stalled[last] = nil
+	e.stalled = e.stalled[:last]
+	f.stallIdx = -1
+}
+
+// recomputeShares restores the bounded max-min allocation after flow-set
+// changes. Only the connected components (flows joined by shared links)
+// containing a change are re-solved: flows elsewhere keep their rates, which
+// are unaffected by construction. Stalled (rate 0) flows are re-examined on
+// every recompute so freed capacity is never missed.
+func (e *Engine) recomputeShares() {
+	e.sharesDirty = false
+	e.mark++
+	m := e.mark
+	if e.fromScratch {
+		for _, f := range e.active {
+			e.solveFrom(f, m)
+		}
+	} else {
+		for _, f := range e.dirtyFlows {
+			if f.dirty { // skip seeds removed since they were queued
+				e.solveFrom(f, m)
+			}
+		}
+		for _, ls := range e.dirtyLinks {
+			for _, f := range ls.flows {
+				e.solveFrom(f, m)
+			}
+		}
+		// Re-examining stalled flows on every recompute is deliberately
+		// redundant: any change that could revive one also dirties its
+		// component, but a stalled flow is already a numerical corner, so
+		// the recovery path must not depend on the dirtiness bookkeeping
+		// being right. The extra solves cost nothing while nothing is
+		// stalled (the common case: the list is empty).
+		// Snapshot: solving mutates e.stalled as flows enter/leave it.
+		e.stallSeeds = append(e.stallSeeds[:0], e.stalled...)
+		for _, f := range e.stallSeeds {
+			e.solveFrom(f, m)
+		}
+	}
+	for _, f := range e.dirtyFlows {
+		f.dirty = false
+	}
+	e.dirtyFlows = e.dirtyFlows[:0]
+	for _, ls := range e.dirtyLinks {
+		ls.dirty = false
+	}
+	e.dirtyLinks = e.dirtyLinks[:0]
+}
+
+// solveFrom gathers the connected component containing seed (unless already
+// solved this generation) and re-runs progressive filling on it.
+func (e *Engine) solveFrom(seed *flow, m int64) {
+	if seed.mark == m {
+		return
+	}
+	comp := e.compBuf[:0]
+	links := e.compLinkBuf[:0]
+	seed.mark = m
+	comp = append(comp, seed)
+	for i := 0; i < len(comp); i++ {
+		for _, l := range comp[i].links {
+			ls := e.linkStates[l]
+			if ls.mark == m {
+				continue
+			}
+			ls.mark = m
+			links = append(links, ls)
+			for _, g := range ls.flows {
+				if g.mark != m {
+					g.mark = m
+					comp = append(comp, g)
+				}
+			}
+		}
+	}
+	e.compBuf, e.compLinkBuf = comp[:0], links[:0]
+	e.solveComponent(comp, links)
+	e.stats.ComponentsResolved++
+	e.stats.FlowsResolved += int64(len(comp))
+}
+
+// solveComponent runs progressive filling (bounded max-min fairness) on one
+// connected component: repeatedly find the most constrained resource —
+// either a saturated link or a flow's own rate cap — fix the corresponding
+// flows, remove their consumption, and continue. The result is the classic
+// max-min allocation restricted to the component; because flows in other
+// components share no link with it, the allocation is identical to what a
+// from-scratch solve over all flows would produce.
+func (e *Engine) solveComponent(comp []*flow, links []*linkState) {
+	for _, ls := range links {
+		ls.rem = ls.link.Bandwidth
+		ls.n = 0
+	}
+	for _, f := range comp {
+		for _, l := range f.links {
+			e.linkStates[l].n++
+		}
+	}
+
+	rates := e.rateBuf[:0]
+	fixed := e.fixedBuf[:0]
+	for range comp {
+		rates = append(rates, 0)
+		fixed = append(fixed, false)
+	}
+	e.rateBuf, e.fixedBuf = rates, fixed
+
+	unfixed := len(comp)
 	for unfixed > 0 {
 		// Candidate level: the smallest of link fair shares and flow caps.
 		level := math.Inf(1)
-		for _, s := range states {
-			if s.n > 0 {
-				if share := s.rem / float64(s.n); share < level {
+		for _, ls := range links {
+			if ls.n > 0 {
+				if share := ls.rem / float64(ls.n); share < level {
 					level = share
 				}
 			}
 		}
 		capBound := false
-		for i, f := range flows {
+		for i, f := range comp {
 			if !fixed[i] && f.cap > 0 && f.cap <= level {
 				level = f.cap
 				capBound = true
@@ -71,9 +270,9 @@ func (e *Engine) recomputeShares() {
 		if math.IsInf(level, 1) {
 			// Flows with no links and no cap: local transfers. Mark them
 			// unconstrained; completion is immediate after latency.
-			for i, f := range flows {
+			for i := range comp {
 				if !fixed[i] {
-					f.rate = math.Inf(1)
+					rates[i] = math.Inf(1)
 					fixed[i] = true
 					unfixed--
 				}
@@ -83,64 +282,147 @@ func (e *Engine) recomputeShares() {
 		// Fix every unfixed flow that is constrained at this level: either
 		// its cap equals the level, or it crosses a link whose fair share
 		// equals the level (within rounding).
-		const relEps = 1e-12
 		progressed := false
-		for i, f := range flows {
-			if fixed[i] {
+		for i, f := range comp {
+			if fixed[i] || !e.constrainedAt(f, level, capBound) {
 				continue
 			}
-			constrained := capBound && f.cap > 0 && f.cap <= level*(1+relEps)
-			if !constrained {
-				for _, l := range f.links {
-					s := &states[idx[l]]
-					if s.n > 0 && s.rem/float64(s.n) <= level*(1+relEps) {
-						constrained = true
-						break
-					}
-				}
-			}
-			if !constrained {
-				continue
-			}
-			f.rate = level
+			rates[i] = level
 			fixed[i] = true
 			unfixed--
 			progressed = true
-			for _, l := range f.links {
-				s := &states[idx[l]]
-				s.rem -= level
-				if s.rem < 0 {
-					s.rem = 0
-				}
-				s.n--
-			}
+			e.consume(f, level)
 		}
 		if !progressed {
-			// Numerical corner: force-fix the flows at the level to
-			// guarantee termination.
-			for i, f := range flows {
-				if fixed[i] {
+			// Numerical corner: no flow matched the level within rounding.
+			// Force-fix only the flows sitting at the minimal constraint —
+			// force-fixing everything would freeze flows that still cross
+			// unsaturated links at an arbitrary rate.
+			forced := false
+			for i, f := range comp {
+				if fixed[i] || !e.atMinimalConstraint(f, level) {
 					continue
 				}
-				f.rate = level
+				rates[i] = level
 				fixed[i] = true
 				unfixed--
-				for _, l := range f.links {
-					s := &states[idx[l]]
-					s.rem -= level
-					if s.rem < 0 {
-						s.rem = 0
+				forced = true
+				e.consume(f, level)
+			}
+			if !forced {
+				// Guarantee termination even if the constraint comparison
+				// itself misbehaves (NaN bandwidths and the like): fix the
+				// first unfixed flow alone and re-derive a level for the
+				// rest.
+				for i, f := range comp {
+					if fixed[i] {
+						continue
 					}
-					s.n--
+					rates[i] = level
+					fixed[i] = true
+					unfixed--
+					e.consume(f, level)
+					break
 				}
 			}
 		}
 	}
+
+	for i, f := range comp {
+		e.applyRate(f, rates[i])
+	}
 }
 
-// linkScratch is per-link working state for the max-min solver, kept on the
-// engine to avoid per-recompute allocations.
-type linkScratch struct {
-	rem float64
-	n   int
+// constrainedAt reports whether f is bottlenecked at the given fill level:
+// its cap equals the level, or one of its links' fair shares does (within
+// rounding).
+func (e *Engine) constrainedAt(f *flow, level float64, capBound bool) bool {
+	const relEps = 1e-12
+	if capBound && f.cap > 0 && f.cap <= level*(1+relEps) {
+		return true
+	}
+	for _, l := range f.links {
+		ls := e.linkStates[l]
+		if ls.n > 0 && ls.rem/float64(ls.n) <= level*(1+relEps) {
+			return true
+		}
+	}
+	return false
+}
+
+// atMinimalConstraint reports whether f's own tightest constraint (its cap
+// or one of its links' fair shares) is no larger than level. Used by the
+// force-fix fallback to pick only the flows actually at the stuck level.
+func (e *Engine) atMinimalConstraint(f *flow, level float64) bool {
+	if f.cap > 0 && f.cap <= level {
+		return true
+	}
+	for _, l := range f.links {
+		ls := e.linkStates[l]
+		if ls.n > 0 && ls.rem/float64(ls.n) <= level {
+			return true
+		}
+	}
+	return false
+}
+
+// consume removes a fixed flow's allocation from its links' remaining
+// capacity.
+func (e *Engine) consume(f *flow, level float64) {
+	for _, l := range f.links {
+		ls := e.linkStates[l]
+		ls.rem -= level
+		if ls.rem < 0 {
+			ls.rem = 0
+		}
+		ls.n--
+	}
+}
+
+// applyRate installs a freshly solved rate: it materializes the flow's
+// remaining bytes at the current time under the old rate, reprojects the
+// completion time, and maintains the completion heap and the stalled list.
+// A no-op when the rate is unchanged, which keeps the flow's arithmetic —
+// and hence its completion time — bit-identical whether or not unrelated
+// components were re-solved around it.
+func (e *Engine) applyRate(f *flow, r float64) {
+	if r == 0 {
+		// Handled before the unchanged-rate shortcut: a brand-new flow's
+		// rate field is already 0, but it still must enter the stalled list
+		// so it is re-examined on every recompute and shows up in deadlock
+		// diagnostics.
+		if f.rate > 0 && !math.IsInf(f.rate, 1) {
+			f.rem -= f.rate * (e.now - f.lastT)
+		}
+		f.lastT = e.now
+		f.rate = 0
+		f.finish = math.Inf(1)
+		if f.heapIdx >= 0 {
+			e.completions.remove(f)
+		}
+		if f.stallIdx < 0 {
+			f.stallIdx = len(e.stalled)
+			e.stalled = append(e.stalled, f)
+		}
+		return
+	}
+	if r == f.rate {
+		return
+	}
+	if f.rate > 0 && !math.IsInf(f.rate, 1) {
+		f.rem -= f.rate * (e.now - f.lastT)
+	}
+	f.lastT = e.now
+	f.rate = r
+	if math.IsInf(r, 1) {
+		f.finish = e.now
+	} else {
+		f.finish = f.lastT + f.rem/r
+	}
+	e.dropStalled(f)
+	if f.heapIdx >= 0 {
+		e.completions.fix(f)
+	} else {
+		e.completions.push(f)
+	}
 }

@@ -11,8 +11,9 @@ import (
 // allocated rates.
 func solve(flows []*flow) []float64 {
 	e := NewEngine(pairRouter{&Link{Bandwidth: 1, Latency: 0}})
-	e.flows = flows
-	e.sharesDirty = true
+	for _, f := range flows {
+		e.addFlow(f)
+	}
 	e.recomputeShares()
 	rates := make([]float64, len(flows))
 	for i, f := range flows {

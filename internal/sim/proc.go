@@ -24,9 +24,32 @@ type Proc struct {
 	id        int64
 	engine    *Engine
 	state     procState
-	blockedOn string
+	blockedOn blockInfo
 	resume    chan struct{}
 	fault     error
+}
+
+// blockInfo describes why a process is blocked. It holds the raw operands
+// and formats only when a deadlock report is actually produced: rendering
+// the reason eagerly cost two allocations on every blocking primitive,
+// which dominated large replays.
+type blockInfo struct {
+	what string  // "sleep", "wait", "barrier"
+	comm *Comm   // wait only
+	amt  float64 // sleep duration
+	n, m int     // barrier arrived/party counts
+}
+
+func (b blockInfo) String() string {
+	switch b.what {
+	case "sleep":
+		return fmt.Sprintf("sleep(%g)", b.amt)
+	case "wait":
+		return fmt.Sprintf("wait(comm %d on %q)", b.comm.ID, b.comm.Mailbox)
+	case "barrier":
+		return fmt.Sprintf("barrier(%d/%d)", b.n, b.m)
+	}
+	return b.what
 }
 
 // simFault carries a simulated-program failure through panic/recover from
@@ -68,7 +91,7 @@ func (e *Engine) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	e.procs = append(e.procs, p)
-	e.runq = append(e.runq, p)
+	e.runq.push(p)
 	e.nalive++
 	go func() {
 		<-p.resume
@@ -104,7 +127,7 @@ func (e *Engine) resume(p *Proc) {
 
 // block parks the calling process until the engine wakes it. reason is shown
 // in deadlock reports.
-func (p *Proc) block(reason string) {
+func (p *Proc) block(reason blockInfo) {
 	e := p.engine
 	if e.current != p {
 		panic("sim: primitive called from outside the running process")
@@ -130,8 +153,8 @@ func (p *Proc) Sleep(d float64) {
 		p.faultf("Sleep(%g): negative duration", d)
 	}
 	e := p.engine
-	e.after(d, func() { e.wake(p) })
-	p.block(fmt.Sprintf("sleep(%g)", d))
+	e.afterWake(d, p)
+	p.block(blockInfo{what: "sleep", amt: d})
 }
 
 // Execute simulates computing amount instructions at the host's calibrated
@@ -216,8 +239,11 @@ func (p *Proc) WaitComm(c *Comm) {
 		p.faultf("wait on comm from another engine")
 	}
 	for !c.Done() {
+		if c.waiters == nil {
+			c.waiters = c.waiterBuf[:0]
+		}
 		c.waiters = append(c.waiters, p)
-		p.block(fmt.Sprintf("wait(comm %d on %q)", c.ID, c.Mailbox))
+		p.block(blockInfo{what: "wait", comm: c})
 	}
 }
 

@@ -1,0 +1,43 @@
+package sim
+
+// procRing is a growable ring-buffer FIFO of runnable processes. Unlike the
+// historical `runq = runq[1:]` slice queue it reuses its backing array
+// instead of sliding through an ever-growing one, and popped slots are
+// nilled so finished processes become collectable during million-event
+// replays.
+type procRing struct {
+	buf  []*Proc
+	head int // index of the next pop
+	n    int // number of queued processes
+}
+
+func (q *procRing) len() int { return q.n }
+
+func (q *procRing) push(p *Proc) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *procRing) pop() *Proc {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *procRing) grow() {
+	next := 2 * len(q.buf)
+	if next == 0 {
+		next = 16
+	}
+	buf := make([]*Proc, next)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

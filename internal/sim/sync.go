@@ -40,7 +40,7 @@ func (b *Barrier) Await(p *Proc) bool {
 	my := b.gen
 	b.waiting = append(b.waiting, p)
 	for b.gen == my {
-		p.block(fmt.Sprintf("barrier(%d/%d)", b.count, b.n))
+		p.block(blockInfo{what: "barrier", n: b.count, m: b.n})
 	}
 	return false
 }

@@ -4,9 +4,16 @@ import "container/heap"
 
 // timer is a scheduled callback in simulated time. Ties on deadline are
 // broken by insertion sequence so runs are deterministic.
+//
+// The two hot kinds — waking a sleeping process and moving a comm out of
+// its latency stage — are encoded as fields rather than closures: a closure
+// per Sleep and per transfer is measurable GC pressure on large replays.
+// fire covers everything else.
 type timer struct {
 	deadline float64
 	seq      int64
+	proc     *Proc // wake this process, or
+	comm     *Comm // move this comm to its fluid stage, or
 	fire     func()
 	index    int
 	canceled bool
@@ -53,7 +60,50 @@ func (e *Engine) at(deadline float64, fire func()) *timer {
 	return t
 }
 
+// cancel deactivates t and removes it from the heap immediately, via the
+// index maintained by the heap operations. Historically cancel only set the
+// flag and left the entry behind until its deadline, so replays that cancel
+// many long-deadline timers grew the heap without bound.
+func (e *Engine) cancel(t *timer) {
+	if t == nil || t.canceled {
+		return
+	}
+	t.canceled = true
+	if t.index >= 0 {
+		heap.Remove(&e.timers, t.index)
+	}
+}
+
 // after schedules fire to run d simulated seconds from now.
 func (e *Engine) after(d float64, fire func()) *timer {
 	return e.at(e.now+d, fire)
+}
+
+// afterWake schedules p to be woken d simulated seconds from now.
+func (e *Engine) afterWake(d float64, p *Proc) *timer {
+	e.timerSeq++
+	t := &timer{deadline: e.now + d, seq: e.timerSeq, proc: p}
+	heap.Push(&e.timers, t)
+	return t
+}
+
+// afterFlow schedules c's transition out of its latency stage d simulated
+// seconds from now.
+func (e *Engine) afterFlow(d float64, c *Comm) *timer {
+	e.timerSeq++
+	t := &timer{deadline: e.now + d, seq: e.timerSeq, comm: c}
+	heap.Push(&e.timers, t)
+	return t
+}
+
+// dispatch runs a fired timer's action.
+func (e *Engine) dispatch(t *timer) {
+	switch {
+	case t.proc != nil:
+		e.wake(t.proc)
+	case t.comm != nil:
+		e.flowStage(t.comm)
+	default:
+		t.fire()
+	}
 }
