@@ -9,7 +9,8 @@
 //	    [-iters N] [-full] [-workers N]
 //
 // The sweep experiment replays the whole {LU, CG} x classes x procs x
-// backend grid as a declarative scenario batch on a worker pool.
+// backend grid as one declarative sweep spec (base scenario + axes)
+// streamed through the worker pool.
 package main
 
 import (

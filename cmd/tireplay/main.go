@@ -12,7 +12,14 @@
 // Batch usage — a JSON array of scenario descriptions replayed on a worker
 // pool (each simulation is single-threaded; scenarios run concurrently):
 //
-//	tireplay -scenarios sweep.json [-workers 4] [-v]
+//	tireplay -scenarios batch.json [-workers 4] [-v]
+//
+// Sweep usage — a declarative parameter grid (base scenario + axes)
+// expanded, streamed through the pool, and persisted to a result store so
+// an interrupted or edited sweep resumes instead of re-running:
+//
+//	tireplay -sweep grid.json [-out results.jsonl] [-csv results.csv] \
+//	    [-store results.store] [-resume] [-workers 4] [-v]
 //
 // Compile-only usage — build the binary trace cache (a sibling .tib file)
 // without replaying, so later replays and CI runs start warm:
@@ -37,6 +44,11 @@ func main() {
 	speed := flag.Float64("speed", 0, "override host compute rate (instructions/s), e.g. a calibrated value")
 	validate := flag.Bool("validate", false, "cross-validate the trace before replaying")
 	scenarios := flag.String("scenarios", "", "JSON scenario batch file; replaces -desc/-platform")
+	sweepSpec := flag.String("sweep", "", "JSON sweep spec (base scenario + parameter axes); replaces -desc/-platform")
+	out := flag.String("out", "", "stream sweep results to this JSONL file as they complete")
+	csvOut := flag.String("csv", "", "stream sweep results to this CSV file as they complete")
+	storeDir := flag.String("store", "", "sweep result-store directory (default: the spec's, or <spec>.store with -resume)")
+	resume := flag.Bool("resume", false, "require the result store and skip already-completed sweep points")
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "print engine statistics / batch progress")
 	compile := flag.Bool("compile", false, "compile -desc into a sibling .tib binary trace cache and exit")
@@ -65,6 +77,11 @@ func main() {
 		} else {
 			fmt.Printf("cache up to date: %s\n", tibPath)
 		}
+		return
+	}
+
+	if *sweepSpec != "" {
+		runSweep(*sweepSpec, *out, *csvOut, *storeDir, *resume, *workers, *verbose)
 		return
 	}
 
@@ -106,6 +123,78 @@ func main() {
 		res.Actions, res.Wall, res.ActionsPerSecond())
 	if *verbose {
 		fmt.Printf("engine: %+v\n", res.Engine)
+	}
+}
+
+func runSweep(specPath, out, csvOut, storeDir string, resume bool, workers int, verbose bool) {
+	sw, err := tireplay.LoadSweep(specPath)
+	fatal(err)
+	// Expansion happens inside RunSweep; the count is only for progress
+	// lines, so pay for a second expansion only when asked to narrate.
+	total := 0
+	if verbose {
+		points, err := sw.Expand()
+		fatal(err)
+		total = len(points)
+	}
+
+	opts := []tireplay.SweepOption{tireplay.WithSweepWorkers(workers)}
+	if storeDir == "" && resume && sw.Store == "" {
+		storeDir = specPath + ".store"
+	}
+	if storeDir != "" {
+		opts = append(opts, tireplay.WithStore(storeDir))
+	}
+	if resume {
+		opts = append(opts, tireplay.WithResume("on"))
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		fatal(err)
+		defer f.Close()
+		opts = append(opts, tireplay.WithSink(tireplay.NewJSONLSink(f)))
+	}
+	if csvOut != "" {
+		axes := make([]string, len(sw.Axes))
+		for i := range sw.Axes {
+			axes[i] = sw.Axes[i].Name
+		}
+		f, err := os.Create(csvOut)
+		fatal(err)
+		defer f.Close()
+		opts = append(opts, tireplay.WithSink(tireplay.NewCSVSink(f, axes...)))
+	}
+
+	if verbose {
+		fmt.Fprintf(os.Stderr, "sweep %s: %d points\n", sw.Name, total)
+	}
+	done, failed, cached := 0, 0, 0
+	for r, err := range tireplay.RunSweep(context.Background(), sw, opts...) {
+		fatal(err)
+		done++
+		name := r.Point.Scenario.Name
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-24s ERROR: %v\n", name, r.Err)
+			continue
+		}
+		tag := ""
+		if r.Cached {
+			cached++
+			tag = "   (stored)"
+		}
+		fmt.Printf("%-24s simulated %10.6f s   (%d actions in %v)%s\n",
+			name, r.Replay.SimulatedTime, r.Replay.Actions, r.Replay.Wall, tag)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
+		}
+	}
+	if verbose && cached > 0 {
+		fmt.Fprintf(os.Stderr, "tireplay: %d of %d points served from the result store\n", cached, done)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tireplay: %d of %d sweep points failed\n", failed, done)
+		os.Exit(1)
 	}
 }
 

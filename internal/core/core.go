@@ -56,18 +56,19 @@ type Config struct {
 	Hosts []*sim.Host
 }
 
-// Result reports a completed replay.
+// Result reports a completed replay. It is JSON-serializable (the sweep
+// result store persists it); the float fields round-trip bit-identically.
 type Result struct {
 	// SimulatedTime is the predicted execution time in seconds — the value
 	// compared against real executions throughout the paper's evaluation.
-	SimulatedTime float64
+	SimulatedTime float64 `json:"simulated_time"`
 	// Actions is the total number of trace actions replayed.
-	Actions int64
+	Actions int64 `json:"actions"`
 	// Wall is the wall-clock duration of the replay itself (the efficiency
-	// axis of the paper).
-	Wall time.Duration
+	// axis of the paper), serialized in nanoseconds.
+	Wall time.Duration `json:"wall_ns"`
 	// Engine exposes kernel counters (events, context switches, ...).
-	Engine sim.Stats
+	Engine sim.Stats `json:"engine"`
 }
 
 // ActionsPerSecond is the replay throughput in trace actions per wall

@@ -1,13 +1,15 @@
 package experiments
 
-// The sweep experiment is the batch-runner showcase: the paper's whole
+// The sweep experiment is the declarative-grid showcase: the paper's whole
 // {LU, CG} x classes x process-count x backend grid of perfect-trace
-// replays, declared as scenarios and executed concurrently on a worker
-// pool. Per-scenario results are identical to sequential execution; only
-// the wall-clock time shrinks.
+// replays, expressed as a sweep.Sweep spec — a base scenario plus axes —
+// instead of hand-written nested loops, and executed concurrently on the
+// worker pool. Per-scenario results are identical to sequential execution;
+// only the wall-clock time shrinks.
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -16,6 +18,7 @@ import (
 	"tireplay/internal/npb"
 	"tireplay/internal/runner"
 	"tireplay/internal/scenario"
+	"tireplay/internal/sweep"
 )
 
 // SweepRow is one scenario outcome of a batch sweep.
@@ -29,71 +32,115 @@ type SweepRow struct {
 	Err string
 }
 
-// SweepScenarios declares the replay grid {LU, CG} x classes x procs x
-// {SMPI, MSG} of perfect traces on the target cluster's platform.
-func SweepScenarios(target *ground.Cluster, classes []npb.Class, procs []int, opt Options) ([]*scenario.Scenario, error) {
+// SweepSpec declares the replay grid {LU, CG} x classes x procs x
+// {SMPI, MSG} of perfect traces on the target cluster as a sweep: the
+// paper's whole evaluation, as one serializable spec.
+func SweepSpec(target *ground.Cluster, classes []npb.Class, procs []int, opt Options) (*sweep.Sweep, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one class")
+	}
 	replayMPI := target.MPI
 	replayMPI.MemcpyBandwidth, replayMPI.MemcpyLatency = 0, 0 // paper-era SMPI (§4.3)
 
-	var scenarios []*scenario.Scenario
-	for _, bench := range []string{"lu", "cg"} {
-		for _, class := range classes {
-			for _, p := range procs {
-				if p > target.Hosts {
-					continue
-				}
-				for _, backend := range []string{"smpi", "msg"} {
-					plat, model, err := target.Platform(p)
-					if err != nil {
-						return nil, err
-					}
-					s := &scenario.Scenario{
-						Name:    fmt.Sprintf("%s %s-%d/%s", bench, class, p, backend),
-						Plat:    plat,
-						Backend: backend,
-						Workload: &scenario.WorkloadSpec{
-							Benchmark: bench, Class: class.String(), Procs: p,
-							Iterations: opt.iters(),
-						},
-					}
-					if backend == "smpi" {
-						s.Network = model
-						s.MPI = replayMPI
-					} else {
-						s.MSG = msgreplay.PrototypeConfig()
-					}
-					scenarios = append(scenarios, s)
-				}
-			}
-		}
+	classVals := make([]any, len(classes))
+	for i, c := range classes {
+		classVals[i] = c.String()
 	}
-	return scenarios, nil
-}
 
-// Sweep runs the grid on a worker pool; workers < 1 selects GOMAXPROCS.
-// observe, when non-nil, is called after each scenario completes.
-func Sweep(ctx context.Context, target *ground.Cluster, classes []npb.Class, procs []int,
-	workers int, opt Options, observe func(done, total int, name string)) ([]SweepRow, error) {
+	// Each procs value swaps in the whole platform description for that
+	// scale (the cluster's spec differs per rank count), coupled with the
+	// workload's process count.
+	var procVals []any
+	var procLabels []string
+	for _, p := range procs {
+		if p > target.Hosts {
+			continue
+		}
+		spec, err := toDoc(target.Spec(p))
+		if err != nil {
+			return nil, err
+		}
+		procVals = append(procVals, map[string]any{
+			"workload.procs": p,
+			"platform":       spec,
+		})
+		procLabels = append(procLabels, fmt.Sprint(p))
+	}
+	if len(procVals) == 0 {
+		return nil, fmt.Errorf("experiments: no process count in %v fits %s's %d hosts", procs, target.Name, target.Hosts)
+	}
 
-	scenarios, err := SweepScenarios(target, classes, procs, opt)
+	msgCfg, err := toDoc(msgreplay.PrototypeConfig())
 	if err != nil {
 		return nil, err
 	}
-	opts := []runner.Option{runner.WithWorkers(workers)}
+
+	return &sweep.Sweep{
+		Name: "paper-grid-" + target.Name,
+		Base: scenario.Scenario{
+			Platform: target.Spec(1),
+			Workload: &scenario.WorkloadSpec{
+				Benchmark: "lu", Class: classes[0].String(), Procs: 1,
+				Iterations: opt.iters(),
+			},
+			MPI: replayMPI,
+		},
+		NameFormat: "{bench} {class}-{procs}/{backend}",
+		Axes: []sweep.Axis{
+			{Name: "bench", Path: "workload.benchmark", Values: []any{"lu", "cg"}},
+			{Name: "class", Path: "workload.class", Values: classVals},
+			{Name: "procs", Values: procVals, Labels: procLabels},
+			{Name: "backend", Values: []any{
+				map[string]any{"backend": "smpi"},
+				// The prototype's crude hard-coded network reference
+				// figures, no piece-wise factors, and no SMPI model config
+				// (it is inert for msg, but clearing it keeps the point's
+				// fingerprint decoupled from SMPI knob changes).
+				map[string]any{"backend": "msg", "msg": msgCfg, "mpi": map[string]any{}, "no_network_factors": true},
+			}, Labels: []string{"smpi", "msg"}},
+		},
+	}, nil
+}
+
+// toDoc converts a serializable value to its generic JSON document form,
+// usable as an axis assignment.
+func toDoc(v any) (map[string]any, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Sweep expands the grid and runs it on a worker pool; workers < 1 selects
+// GOMAXPROCS. observe, when non-nil, is called after each scenario
+// completes.
+func Sweep(ctx context.Context, target *ground.Cluster, classes []npb.Class, procs []int,
+	workers int, opt Options, observe func(done, total int, name string)) ([]SweepRow, error) {
+
+	spec, err := SweepSpec(target, classes, procs, opt)
+	if err != nil {
+		return nil, err
+	}
+	opts := []sweep.Option{sweep.WithWorkers(workers)}
 	if observe != nil {
-		opts = append(opts, runner.WithObserver(func(ev runner.Event) {
+		opts = append(opts, sweep.WithObserver(func(ev runner.Event) {
 			if ev.Kind == runner.Finished {
 				observe(ev.Done, ev.Total, ev.Result.Scenario.Name)
 			}
 		}))
 	}
-	results, err := runner.Run(ctx, scenarios, opts...)
+	results, err := sweep.Collect(ctx, spec, opts...)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]SweepRow, len(results))
 	for i, r := range results {
-		rows[i] = SweepRow{Name: r.Scenario.Name, Backend: r.Scenario.Backend}
+		rows[i] = SweepRow{Name: r.Point.Scenario.Name, Backend: r.Point.Scenario.Backend}
 		if r.Err != nil {
 			rows[i].Err = r.Err.Error()
 			continue

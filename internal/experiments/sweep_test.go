@@ -10,18 +10,50 @@ import (
 )
 
 func TestSweepGridShape(t *testing.T) {
-	scenarios, err := SweepScenarios(ground.Graphene(), []npb.Class{npb.ClassS}, []int{4, 8}, fastOpt)
+	spec, err := SweepSpec(ground.Graphene(), []npb.Class{npb.ClassS}, []int{4, 8}, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// {lu,cg} x {S} x {4,8} x {smpi,msg} = 8 scenarios.
-	if len(scenarios) != 8 {
-		t.Fatalf("grid has %d scenarios, want 8", len(scenarios))
+	if len(points) != 8 {
+		t.Fatalf("grid has %d points, want 8", len(points))
 	}
-	for _, s := range scenarios {
-		if err := s.Validate(); err != nil {
-			t.Fatalf("%s: %v", s.Name, err)
+	for _, pt := range points {
+		if err := pt.Scenario.Validate(); err != nil {
+			t.Fatalf("%s: %v", pt.Scenario.Name, err)
 		}
+	}
+	// The grid keeps the hand-rolled loop's naming and order: backend
+	// fastest, then procs, then class, then benchmark.
+	if points[0].Scenario.Name != "lu S-4/smpi" || points[1].Scenario.Name != "lu S-4/msg" {
+		t.Fatalf("unexpected leading points %q, %q", points[0].Scenario.Name, points[1].Scenario.Name)
+	}
+	// MSG points must not inherit the platform's factor model (the
+	// prototype was factor-free) and must carry the prototype figures.
+	for _, pt := range points {
+		if pt.Scenario.Backend == "msg" {
+			if !pt.Scenario.NoNetworkFactors {
+				t.Fatalf("%s: msg point inherits network factors", pt.Scenario.Name)
+			}
+			if pt.Scenario.MSG.RefBandwidth == 0 {
+				t.Fatalf("%s: msg point lost the prototype config", pt.Scenario.Name)
+			}
+		}
+	}
+	// Oversized process counts are dropped at spec build time.
+	spec, err = SweepSpec(ground.Graphene(), []npb.Class{npb.ClassS}, []int{4, 100000}, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points, err = spec.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("oversized procs not dropped: %d points", len(points))
 	}
 }
 

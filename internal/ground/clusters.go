@@ -1,8 +1,6 @@
 package ground
 
 import (
-	"math"
-
 	"tireplay/internal/instrument"
 	"tireplay/internal/npb"
 
@@ -14,14 +12,15 @@ import (
 // ground truth and the SMPI replay (SMPI's model was validated against the
 // real interconnect, so handing the replay the same tuned factors mirrors
 // the paper's setup; the replay's remaining error comes from protocol
-// modelling, not factor mismatch).
-func gigabitEthernetFactors() []platform.Segment {
-	return []platform.Segment{
+// modelling, not factor mismatch). MaxBytes 0 in the last segment means
+// "unbounded" (platform.Spec convention).
+func gigabitEthernetFactors() []platform.SegmentSpec {
+	return []platform.SegmentSpec{
 		{MaxBytes: 1024, LatFactor: 1.9, BwFactor: 0.25},
 		{MaxBytes: 8192, LatFactor: 1.5, BwFactor: 0.55},
 		{MaxBytes: 65536, LatFactor: 1.3, BwFactor: 0.80},
 		{MaxBytes: 1 << 20, LatFactor: 1.05, BwFactor: 0.92},
-		{MaxBytes: math.MaxFloat64, LatFactor: 1, BwFactor: 0.97},
+		{MaxBytes: 0, LatFactor: 1, BwFactor: 0.97},
 	}
 }
 
@@ -47,9 +46,10 @@ func Bordereau() *Cluster {
 			SendOverhead:    2e-6,
 			RecvOverhead:    2e-6,
 		},
-		Platform: func(n int) (*platform.Platform, *platform.PiecewiseModel, error) {
-			p, err := platform.NewFlatCluster(platform.FlatConfig{
+		Spec: func(n int) *platform.Spec {
+			return &platform.Spec{
 				Name:              "bordereau",
+				Topology:          "flat",
 				Hosts:             n,
 				Speed:             2.15e9,
 				LinkBandwidth:     1.25e8, // gigabit NIC
@@ -57,15 +57,8 @@ func Bordereau() *Cluster {
 				BackboneBandwidth: 1.25e9, // 10 Gb switch fabric
 				BackboneLatency:   1.5e-6,
 				LoopbackLatency:   2e-7,
-			})
-			if err != nil {
-				return nil, nil, err
+				Factors:           gigabitEthernetFactors(),
 			}
-			m, err := platform.NewPiecewiseModel(gigabitEthernetFactors())
-			if err != nil {
-				return nil, nil, err
-			}
-			return p, m, nil
 		},
 	}
 }
@@ -103,14 +96,15 @@ func Graphene() *Cluster {
 			SendOverhead:    1.5e-6,
 			RecvOverhead:    1.5e-6,
 		},
-		Platform: func(n int) (*platform.Platform, *platform.PiecewiseModel, error) {
+		Spec: func(n int) *platform.Spec {
 			perCab := 36
 			cabinets := (n + perCab - 1) / perCab
 			if cabinets < 1 {
 				cabinets = 1
 			}
-			p, err := platform.NewHierarchicalCluster(platform.HierConfig{
+			return &platform.Spec{
 				Name:              "graphene",
+				Topology:          "hierarchical",
 				Cabinets:          cabinets,
 				HostsPerCabinet:   perCab,
 				Speed:             4.0e9,
@@ -121,15 +115,8 @@ func Graphene() *Cluster {
 				BackboneBandwidth: 2.5e9,
 				BackboneLatency:   2e-6,
 				LoopbackLatency:   2e-7,
-			})
-			if err != nil {
-				return nil, nil, err
+				Factors:           gigabitEthernetFactors(),
 			}
-			m, err := platform.NewPiecewiseModel(gigabitEthernetFactors())
-			if err != nil {
-				return nil, nil, err
-			}
-			return p, m, nil
 		},
 	}
 }

@@ -59,9 +59,16 @@ type Cluster struct {
 	// ProbeCosts overrides the instrumentation cost model for this cluster
 	// (TAU version, local disk speed); nil keeps the defaults.
 	ProbeCosts *instrument.Costs
-	// Platform materializes the cluster's network for n ranks, together
-	// with its piece-wise-linear factor model.
-	Platform func(n int) (*platform.Platform, *platform.PiecewiseModel, error)
+	// Spec describes the cluster's network for n ranks as a serializable
+	// platform description (including its piece-wise-linear factor model),
+	// which is what lets declarative sweeps target the cluster.
+	Spec func(n int) *platform.Spec
+}
+
+// Platform materializes the cluster's network for n ranks, together with
+// its piece-wise-linear factor model — Spec(n), built.
+func (c *Cluster) Platform(n int) (*platform.Platform, *platform.PiecewiseModel, error) {
+	return c.Spec(n).Build()
 }
 
 // RunResult is one emulated execution.

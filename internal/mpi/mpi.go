@@ -31,23 +31,23 @@ type ModelConfig struct {
 	// EagerThreshold in bytes; messages strictly below it are sent eagerly
 	// (detached), others use rendezvous. Zero selects
 	// DefaultEagerThreshold.
-	EagerThreshold float64
+	EagerThreshold float64 `json:"eager_threshold,omitempty"`
 	// MemcpyBandwidth, when positive, charges the sender of an eager
 	// message bytes/MemcpyBandwidth seconds for the local buffer copy.
 	// Zero means the copy is not modelled (the paper-era SMPI behaviour).
-	MemcpyBandwidth float64
+	MemcpyBandwidth float64 `json:"memcpy_bandwidth,omitempty"`
 	// MemcpyLatency is a fixed per-eager-send sender-side cost, charged
 	// only when MemcpyBandwidth is modelled.
-	MemcpyLatency float64
+	MemcpyLatency float64 `json:"memcpy_latency,omitempty"`
 	// SendOverhead and RecvOverhead are fixed per-call CPU costs (the
 	// os/or parameters of LogP-like models), charged on every send/recv.
-	SendOverhead float64
-	RecvOverhead float64
+	SendOverhead float64 `json:"send_overhead,omitempty"`
+	RecvOverhead float64 `json:"recv_overhead,omitempty"`
 	// Bcast and AllReduce select the collective algorithms used by the
 	// generic Bcast/AllReduce entry points (and hence by trace replay).
 	// Zero values select the defaults (binomial tree, recursive doubling).
-	Bcast     BcastAlgo
-	AllReduce AllReduceAlgo
+	Bcast     BcastAlgo     `json:"bcast,omitempty"`
+	AllReduce AllReduceAlgo `json:"all_reduce,omitempty"`
 }
 
 func (c ModelConfig) eagerThreshold() float64 {

@@ -26,10 +26,10 @@ import (
 type Config struct {
 	// EagerThreshold mirrors the "size < 65536" test of the original
 	// action_send; zero selects 65536.
-	EagerThreshold float64
+	EagerThreshold float64 `json:"eager_threshold,omitempty"`
 	// RefLatency and RefBandwidth parameterize the collective formulas.
-	RefLatency   float64
-	RefBandwidth float64
+	RefLatency   float64 `json:"ref_latency,omitempty"`
+	RefBandwidth float64 `json:"ref_bandwidth,omitempty"`
 }
 
 func (c Config) eagerThreshold() float64 {

@@ -3,10 +3,16 @@
 // sweep — the paper's whole evaluation grid, or a dimensioning study over
 // candidate platforms — is embarrassingly parallel across scenarios while
 // every individual replay stays deterministic.
+//
+// Stream is the core: it yields one Result per scenario in completion
+// order, which is what lets the sweep layer (package sweep) persist and
+// report results as they land instead of blocking on the whole batch. Run
+// is the batch convenience built on top of it.
 package runner
 
 import (
 	"context"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -18,8 +24,9 @@ import (
 // and Err is set, unless the scenario was skipped by cancellation (then Err
 // is the context's error).
 type Result struct {
-	// Index is the scenario's position in the input slice; results are
-	// returned in input order regardless of completion order.
+	// Index is the scenario's position in the input slice. Run returns
+	// results in input order; Stream yields them in completion order and
+	// Index identifies the scenario.
 	Index int
 	// Scenario is the executed scenario.
 	Scenario *scenario.Scenario
@@ -48,7 +55,10 @@ type Event struct {
 	// Result carries the scenario and its index; Replay/Err are only
 	// meaningful for Finished events.
 	Result Result
-	// Done and Total report batch progress as of this event.
+	// Done and Total report batch progress as of this event. Done increases
+	// by exactly one per Finished event — including scenarios skipped by
+	// cancellation — and reaches Total once every scenario has a terminal
+	// Result.
 	Done, Total int
 }
 
@@ -74,12 +84,15 @@ func WithObserver(f func(Event)) Option {
 	return func(c *config) { c.observer = f }
 }
 
-// Run executes every scenario on a pool of workers and returns one Result
-// per scenario, in input order. Scenario failures are recorded in their
-// Result and do not abort the batch; the returned error is non-nil only
-// when ctx is cancelled, in which case not-yet-started scenarios carry the
-// context error in their Result.
-func Run(ctx context.Context, scenarios []*scenario.Scenario, opts ...Option) ([]Result, error) {
+// Stream executes every scenario on a pool of workers and yields one
+// terminal Result per scenario in completion order. Scenario failures are
+// carried in their Result and do not abort the batch. When ctx is
+// cancelled mid-batch, every not-yet-started scenario is still yielded,
+// skipped, with the context's error as its Err — the stream always
+// delivers exactly len(scenarios) results unless the consumer stops
+// early. Stopping early (breaking out of the range loop) cancels the
+// remaining work and reclaims the pool.
+func Stream(ctx context.Context, scenarios []*scenario.Scenario, opts ...Option) iter.Seq[Result] {
 	cfg := config{}
 	for _, o := range opts {
 		o(&cfg)
@@ -91,68 +104,99 @@ func Run(ctx context.Context, scenarios []*scenario.Scenario, opts ...Option) ([
 		cfg.workers = len(scenarios)
 	}
 
+	return func(yield func(Result) bool) {
+		if len(scenarios) == 0 {
+			return
+		}
+		// Early consumer exit must stop the pool, not leak it: cancel the
+		// derived context and drain until the pool closes the channel.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		var (
+			mu   sync.Mutex // serializes observer callbacks and the done counter
+			done int
+		)
+		notify := func(kind EventKind, r Result) {
+			if cfg.observer == nil && kind != Finished {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if kind == Finished {
+				done++
+			}
+			if cfg.observer != nil {
+				cfg.observer(Event{Kind: kind, Result: r, Done: done, Total: len(scenarios)})
+			}
+		}
+
+		out := make(chan Result)
+		indexes := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indexes {
+					r := Result{Index: i, Scenario: scenarios[i]}
+					if err := ctx.Err(); err != nil {
+						// Cancelled: mark the scenario skipped, don't run it.
+						r.Err = err
+					} else {
+						notify(Started, r)
+						r.Replay, r.Err = r.Scenario.Run(ctx)
+					}
+					notify(Finished, r)
+					out <- r
+				}
+			}()
+		}
+
+		go func() {
+		feed:
+			for i := range scenarios {
+				select {
+				case indexes <- i:
+				case <-ctx.Done():
+					// Indexes from i on were never handed to a worker: report
+					// them skipped with the context's error.
+					for j := i; j < len(scenarios); j++ {
+						r := Result{Index: j, Scenario: scenarios[j], Err: ctx.Err()}
+						notify(Finished, r)
+						out <- r
+					}
+					break feed
+				}
+			}
+			close(indexes)
+			wg.Wait()
+			close(out)
+		}()
+
+		for r := range out {
+			if !yield(r) {
+				cancel()
+				for range out { // unblock the pool until it closes the channel
+				}
+				return
+			}
+		}
+	}
+}
+
+// Run executes every scenario on a pool of workers and returns one Result
+// per scenario, in input order. Scenario failures are recorded in their
+// Result and do not abort the batch; the returned error is non-nil only
+// when ctx is cancelled, in which case not-yet-started scenarios carry the
+// context error in their Result.
+func Run(ctx context.Context, scenarios []*scenario.Scenario, opts ...Option) ([]Result, error) {
 	results := make([]Result, len(scenarios))
 	for i, s := range scenarios {
 		results[i] = Result{Index: i, Scenario: s}
 	}
-	if len(scenarios) == 0 {
-		return results, ctx.Err()
+	for r := range Stream(ctx, scenarios, opts...) {
+		results[r.Index] = r
 	}
-
-	var (
-		mu   sync.Mutex // serializes observer callbacks and the done counter
-		done int
-	)
-	notify := func(kind EventKind, r Result) {
-		if cfg.observer == nil && kind != Finished {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		if kind == Finished {
-			done++
-		}
-		if cfg.observer != nil {
-			cfg.observer(Event{Kind: kind, Result: r, Done: done, Total: len(scenarios)})
-		}
-	}
-
-	indexes := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indexes {
-				r := &results[i]
-				if err := ctx.Err(); err != nil {
-					// Cancelled: mark the scenario skipped, don't run it.
-					r.Err = err
-					notify(Finished, *r)
-					continue
-				}
-				notify(Started, *r)
-				r.Replay, r.Err = r.Scenario.Run(ctx)
-				notify(Finished, *r)
-			}
-		}()
-	}
-
-feed:
-	for i := range scenarios {
-		select {
-		case indexes <- i:
-		case <-ctx.Done():
-			// Indexes from i on were never handed to a worker: mark them
-			// skipped.
-			for j := i; j < len(scenarios); j++ {
-				results[j].Err = ctx.Err()
-				notify(Finished, results[j])
-			}
-			break feed
-		}
-	}
-	close(indexes)
-	wg.Wait()
 	return results, ctx.Err()
 }

@@ -198,6 +198,118 @@ func TestCancellationMidBatch(t *testing.T) {
 	}
 }
 
+// TestStreamDeliversAllResults checks the streaming core yields exactly
+// one terminal result per scenario, in completion order, covering every
+// index.
+func TestStreamDeliversAllResults(t *testing.T) {
+	scenarios := sweep(t)
+	seen := make(map[int]int)
+	for r := range Stream(context.Background(), scenarios, WithWorkers(4)) {
+		seen[r.Index]++
+		if r.Err != nil {
+			t.Fatalf("scenario %d: %v", r.Index, r.Err)
+		}
+		if r.Replay == nil || r.Replay.SimulatedTime <= 0 {
+			t.Fatalf("scenario %d: degenerate replay %+v", r.Index, r.Replay)
+		}
+	}
+	if len(seen) != len(scenarios) {
+		t.Fatalf("stream yielded %d distinct indexes, want %d", len(seen), len(scenarios))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d yielded %d times", i, n)
+		}
+	}
+}
+
+// TestStreamEarlyBreakStopsPool breaks out of the stream after the first
+// result; the pool must shut down without leaking goroutines (the race
+// detector plus -timeout guard the rest).
+func TestStreamEarlyBreakStopsPool(t *testing.T) {
+	scenarios := sweep(t)
+	got := 0
+	for range Stream(context.Background(), scenarios, WithWorkers(2)) {
+		got++
+		break
+	}
+	if got != 1 {
+		t.Fatalf("consumed %d results, want 1", got)
+	}
+}
+
+// TestCancellationReportingConsistent is the regression test for
+// cancellation reporting: under cancellation at arbitrary points, every
+// scenario must get exactly one terminal result, skipped results must
+// carry the context's error, and the observer's Done counter must increase
+// by exactly one per Finished event, reaching Total.
+func TestCancellationReportingConsistent(t *testing.T) {
+	mkBatch := func(n int) []*scenario.Scenario {
+		var out []*scenario.Scenario
+		for i := 0; i < n; i++ {
+			out = append(out, &scenario.Scenario{
+				Platform: flatSpec(2),
+				Workload: &scenario.WorkloadSpec{Benchmark: "ep", Class: "S", Procs: 2},
+			})
+		}
+		return out
+	}
+	const n = 16
+	for round := 0; round < 8; round++ {
+		cancelAfter := round % (n / 2) // vary the cancellation point
+		ctx, cancel := context.WithCancel(context.Background())
+
+		var (
+			finishedPer = make([]int, n)
+			lastDone    int
+			finished    int
+		)
+		results, err := Run(ctx, mkBatch(n), WithWorkers(3), WithObserver(func(ev Event) {
+			if ev.Kind != Finished {
+				return
+			}
+			finished++
+			if ev.Done != lastDone+1 {
+				t.Errorf("round %d: Done jumped %d -> %d", round, lastDone, ev.Done)
+			}
+			if ev.Done > ev.Total {
+				t.Errorf("round %d: Done %d > Total %d", round, ev.Done, ev.Total)
+			}
+			lastDone = ev.Done
+			finishedPer[ev.Result.Index]++
+			if finished == cancelAfter+1 {
+				cancel()
+			}
+		}))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: Run error = %v, want context.Canceled", round, err)
+		}
+		if lastDone != n {
+			t.Fatalf("round %d: final Done %d, want %d", round, lastDone, n)
+		}
+		for i, c := range finishedPer {
+			if c != 1 {
+				t.Fatalf("round %d: scenario %d got %d Finished events", round, i, c)
+			}
+		}
+		skipped := 0
+		for _, r := range results {
+			switch {
+			case r.Err == nil && r.Replay != nil:
+			case r.Replay == nil && errors.Is(r.Err, context.Canceled):
+				skipped++
+			default:
+				t.Fatalf("round %d: scenario %d inconsistent (replay=%v err=%v)",
+					round, r.Index, r.Replay, r.Err)
+			}
+		}
+		if skipped == 0 {
+			t.Fatalf("round %d: cancellation after %d completions skipped nothing", round, cancelAfter)
+		}
+	}
+}
+
 // TestObserverEvents checks started/finished pairing, progress counters,
 // and that callbacks are serialized.
 func TestObserverEvents(t *testing.T) {

@@ -357,6 +357,29 @@ func (s *Scenario) provider(defaultRanks int) (prov trace.Provider, owned bool, 
 	}
 }
 
+// CompileTraceCache ensures the scenario's compiled binary trace cache (a
+// sibling .tib of its TraceDesc) exists and is fresh, without replaying.
+// It is a no-op (returning "", false, nil) when the scenario has no
+// cacheable source: TraceCache "off", a TraceDesc already pointing at a
+// .tib, or a Workload/Provider source. The sweep layer calls it once per
+// distinct trace set before fanning a grid onto the worker pool, so the
+// scenarios of a sweep share one compile instead of racing to rebuild the
+// same cache concurrently.
+func (s *Scenario) CompileTraceCache() (tibPath string, rebuilt bool, err error) {
+	if s.TraceDesc == "" || strings.ToLower(s.TraceCache) == "off" || trace.SniffTIB(s.TraceDesc) {
+		return "", false, nil
+	}
+	ranks := s.Ranks
+	if ranks == 0 {
+		plat, _, err := s.buildPlatform()
+		if err != nil {
+			return "", false, err
+		}
+		ranks = plat.Size()
+	}
+	return trace.CompileDescription(s.TraceDesc, ranks, 0)
+}
+
 // Run validates and executes the scenario. Cancellation is checked before
 // the (single-threaded, typically sub-second) replay starts; a ctx that
 // expires mid-replay does not interrupt it.

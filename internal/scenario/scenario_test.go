@@ -354,6 +354,31 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStrictDecodingNamesOffendingField: a typoed knob anywhere in a
+// scenario file — top level or inside a nested config — must fail loudly
+// with an error naming the field, never silently select defaults.
+func TestStrictDecodingNamesOffendingField(t *testing.T) {
+	cases := []struct {
+		json, field string
+	}{
+		{`[{"bckend": "smpi"}]`, "bckend"},
+		{`[{"workload": {"benchmark": "lu", "class": "S", "prcs": 4}}]`, "prcs"},
+		{`[{"mpi": {"eager_treshold": 1024}}]`, "eager_treshold"},
+		{`[{"msg": {"ref_lat": 1e-5}}]`, "ref_lat"},
+		{`[{"platform": {"topology": "flat", "hosts": 4, "sped": 1e9}}]`, "sped"},
+	}
+	for _, tc := range cases {
+		_, err := ReadAll(bytes.NewReader([]byte(tc.json)))
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.json)
+			continue
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(tc.field)) {
+			t.Errorf("%s: error %v does not name field %q", tc.json, err, tc.field)
+		}
+	}
+}
+
 func TestLoadScenarioFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "batch.json")

@@ -10,19 +10,19 @@ import (
 // Stats accumulates engine-level counters, used by the efficiency
 // benchmarks (the paper's second axis: how fast the replay itself runs).
 type Stats struct {
-	ContextSwitches int64 // process scheduling handoffs
-	TimersFired     int64
-	CommsStarted    int64
-	CommsCompleted  int64
-	ShareRecomputes int64 // recompute passes (events with a dirty flow set)
-	Events          int64 // time-advance steps
+	ContextSwitches int64 `json:"context_switches"` // process scheduling handoffs
+	TimersFired     int64 `json:"timers_fired"`
+	CommsStarted    int64 `json:"comms_started"`
+	CommsCompleted  int64 `json:"comms_completed"`
+	ShareRecomputes int64 `json:"share_recomputes"` // recompute passes (events with a dirty flow set)
+	Events          int64 `json:"events"`           // time-advance steps
 	// ComponentsResolved counts connected components re-solved by the
 	// incremental max-min solver and FlowsResolved the flows they contained;
 	// FlowsResolved/ComponentsResolved is the mean re-solve scope, the
 	// measure of how much work incrementality avoids versus a from-scratch
 	// solve (which re-solves every active flow on every pass).
-	ComponentsResolved int64
-	FlowsResolved      int64
+	ComponentsResolved int64 `json:"components_resolved"`
+	FlowsResolved      int64 `json:"flows_resolved"`
 }
 
 // Engine is a sequential discrete-event simulator. Simulated processes run

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tireplay/internal/core"
+)
+
+// Record is the serialized form of one sweep result — the unit the result
+// store persists and the JSONL sink emits, so stored results and streamed
+// result files round-trip through the same schema.
+type Record struct {
+	// Sweep is the owning sweep's name.
+	Sweep string `json:"sweep,omitempty"`
+	// Index is the point's position in the expanded grid.
+	Index int `json:"index"`
+	// Name is the expanded scenario's display name.
+	Name string `json:"name,omitempty"`
+	// Fingerprint keys the record in the result store.
+	Fingerprint string `json:"fingerprint"`
+	// Values and Labels record the point's axis values and display labels.
+	Values map[string]any    `json:"values,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Cached reports the result was served from the store, not replayed.
+	Cached bool `json:"cached,omitempty"`
+	// Replay is the full replay outcome, nil on failure. JSON encoding of
+	// float64 is shortest-round-trip, so a stored result reloads
+	// bit-identical to the fresh replay.
+	Replay *core.Result `json:"replay,omitempty"`
+	// Err is the point's failure message, "" on success.
+	Err string `json:"error,omitempty"`
+}
+
+// Store is the persistent on-disk result store: one JSON Record per
+// completed point, keyed by scenario fingerprint, written atomically
+// (temp file + rename) so an interrupted sweep never leaves a torn
+// record. It is safe for concurrent use.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a result store directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(fingerprint string) string {
+	return filepath.Join(st.dir, fingerprint+".json")
+}
+
+// Get loads the record stored under a fingerprint; a miss returns
+// (nil, nil).
+func (st *Store) Get(fingerprint string) (*Record, error) {
+	data, err := os.ReadFile(st.path(fingerprint))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading stored result: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("sweep: stored result %s: %w", fingerprint, err)
+	}
+	if rec.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("sweep: stored result %s carries fingerprint %s", fingerprint, rec.Fingerprint)
+	}
+	return &rec, nil
+}
+
+// Put persists a record under its fingerprint, atomically replacing any
+// previous result for the same scenario.
+func (st *Store) Put(rec *Record) error {
+	if rec.Fingerprint == "" {
+		return fmt.Errorf("sweep: record has no fingerprint")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding result: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, rec.Fingerprint+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: writing result: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing result: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(rec.Fingerprint)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing result: %w", err)
+	}
+	return nil
+}
+
+// Len counts the records currently stored.
+func (st *Store) Len() (int, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ReadRecords decodes a JSONL stream of Records (the JSONL sink's output).
+func ReadRecords(r io.Reader) ([]*Record, error) {
+	dec := json.NewDecoder(r)
+	var out []*Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("sweep: decoding results: %w", err)
+		}
+		out = append(out, &rec)
+	}
+}

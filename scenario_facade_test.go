@@ -130,6 +130,92 @@ func TestFacadeBatchSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeSweep drives the exported sweep surface end to end: declare a
+// grid, stream it with a JSONL sink and a store, then resume it.
+func TestFacadeSweep(t *testing.T) {
+	dir := t.TempDir()
+	sw := &tireplay.Sweep{
+		Name: "facade",
+		Base: tireplay.Scenario{
+			Platform: facadePlatformSpec(8),
+			Workload: &tireplay.WorkloadSpec{Benchmark: "cg", Class: "S", Procs: 4, Iterations: 2},
+		},
+		NameFormat: "cg-{procs}p-{backend}",
+		Axes: []tireplay.SweepAxis{
+			{Name: "procs", Values: []any{
+				map[string]any{"workload.procs": 4, "platform.hosts": 4},
+				map[string]any{"workload.procs": 8, "platform.hosts": 8},
+			}, Labels: []string{"4", "8"}},
+			{Name: "backend", Values: []any{"smpi", "msg"}},
+		},
+		Store: filepath.Join(dir, "results"),
+	}
+
+	jsonl, err := os.Create(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []tireplay.SweepResult
+	for r, err := range tireplay.RunSweep(context.Background(), sw,
+		tireplay.WithSweepWorkers(2), tireplay.WithSink(tireplay.NewJSONLSink(jsonl))) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Point.Scenario.Name, r.Err)
+		}
+		streamed = append(streamed, r)
+	}
+	jsonl.Close()
+	if len(streamed) != 4 {
+		t.Fatalf("streamed %d results, want 4", len(streamed))
+	}
+
+	f, err := os.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := tireplay.ReadSweepRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("JSONL has %d records, want 4", len(recs))
+	}
+
+	// A resumed run serves everything from the store, bit-identical.
+	results, err := tireplay.CollectSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySim := make(map[string]float64)
+	for _, r := range streamed {
+		bySim[r.Point.Fingerprint] = r.Replay.SimulatedTime
+	}
+	for _, r := range results {
+		if !r.Cached {
+			t.Fatalf("%s: not served from the store", r.Point.Scenario.Name)
+		}
+		if want := bySim[r.Point.Fingerprint]; r.Replay.SimulatedTime != want {
+			t.Fatalf("%s: resumed %v != streamed %v", r.Point.Scenario.Name, r.Replay.SimulatedTime, want)
+		}
+	}
+
+	// The fingerprint helper agrees with the points' identities.
+	pts, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := tireplay.ScenarioFingerprint(pts[0].Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != pts[0].Fingerprint {
+		t.Fatalf("fingerprint mismatch: %s != %s", fp, pts[0].Fingerprint)
+	}
+}
+
 func TestFacadeTraceErrorSurface(t *testing.T) {
 	// A malformed trace (an orphan wait) surfaces the structured error
 	// types re-exported by the facade.

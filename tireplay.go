@@ -24,8 +24,12 @@
 //     instrumentation model used to study acquisition overheads;
 //   - the two calibration procedures (classic A-4 and cache-aware);
 //   - a declarative, JSON-serializable Scenario description (platform,
-//     trace source, backend, model knobs) and a concurrent batch runner
-//     for sweeps over many scenarios.
+//     trace source, backend, model knobs) and a concurrent batch runner;
+//   - a first-class Sweep subsystem: parameter grids declared as a base
+//     scenario plus axes, expanded deterministically, streamed through a
+//     worker pool into pluggable sinks (JSONL, CSV), and persisted in a
+//     fingerprint-keyed result store so interrupted or edited sweeps
+//     resume instead of re-running.
 //
 // Single replay quick start:
 //
@@ -38,32 +42,48 @@
 //	res, err := tireplay.Replay(prov, plat, tireplay.ReplayConfig{})
 //	fmt.Printf("predicted time: %.2f s\n", res.SimulatedTime)
 //
-// Batch sweep quick start — declare scenarios, run them on a worker pool;
-// results come back in input order and one failure never aborts the rest:
+// Sweep quick start — declare the grid once (no nested loops), stream
+// results as they complete, and persist them so a re-run only replays
+// what is missing; one failing point never aborts the rest:
 //
-//	var scenarios []*tireplay.Scenario
-//	for _, procs := range []int{8, 16, 32, 64} {
-//		scenarios = append(scenarios, &tireplay.Scenario{
-//			Name:     fmt.Sprintf("lu-b-%d", procs),
-//			Platform: &tireplay.PlatformSpec{Topology: "flat", Hosts: procs,
+//	sw := &tireplay.Sweep{
+//		Name: "lu-scaling",
+//		Base: tireplay.Scenario{
+//			Platform: &tireplay.PlatformSpec{Topology: "flat", Hosts: 64,
 //				Speed: 2e9, LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
 //				BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6},
-//			Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "B", Procs: procs},
-//		})
+//			Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "B", Procs: 8},
+//		},
+//		NameFormat: "lu-b-{procs}",
+//		Axes: []tireplay.SweepAxis{{Name: "procs", Values: []any{
+//			map[string]any{"workload.procs": 8, "platform.hosts": 8},
+//			map[string]any{"workload.procs": 16, "platform.hosts": 16},
+//			map[string]any{"workload.procs": 32, "platform.hosts": 32},
+//			map[string]any{"workload.procs": 64, "platform.hosts": 64},
+//		}, Labels: []string{"8", "16", "32", "64"}}},
+//		Store: "results.store", // resume from here on the next run
 //	}
-//	results, err := tireplay.RunScenarios(ctx, scenarios, tireplay.WithWorkers(4))
-//	for _, r := range results {
+//	for r, err := range tireplay.RunSweep(ctx, sw, tireplay.WithSweepWorkers(4)) {
+//		if err != nil {
+//			log.Fatal(err) // spec/store/sink failure
+//		}
 //		if r.Err != nil {
-//			fmt.Printf("%s: %v\n", r.Scenario.Name, r.Err)
+//			fmt.Printf("%s: %v\n", r.Point.Scenario.Name, r.Err)
 //			continue
 //		}
-//		fmt.Printf("%s: %.2f s\n", r.Scenario.Name, r.Replay.SimulatedTime)
+//		fmt.Printf("%s: %.2f s\n", r.Point.Scenario.Name, r.Replay.SimulatedTime)
 //	}
+//
+// The same grid as a JSON file runs with the command-line driver:
+//
+//	tireplay -sweep grid.json -out results.jsonl -resume
 package tireplay
 
 import (
 	"context"
 	"fmt"
+	"io"
+	"iter"
 
 	"tireplay/internal/calibrate"
 	"tireplay/internal/core"
@@ -76,6 +96,7 @@ import (
 	"tireplay/internal/runner"
 	"tireplay/internal/scenario"
 	"tireplay/internal/sim"
+	"tireplay/internal/sweep"
 	"tireplay/internal/trace"
 )
 
@@ -206,6 +227,86 @@ func WithObserver(f func(RunnerEvent)) RunnerOption { return runner.WithObserver
 
 // LoadScenarios reads a JSON array of scenarios from a file.
 func LoadScenarios(path string) ([]*Scenario, error) { return scenario.Load(path) }
+
+// Sweep subsystem types: declarative parameter grids over a base scenario.
+type (
+	// Sweep is a JSON-serializable parameter grid: a base Scenario
+	// template plus axes expanded as a cartesian product, with optional
+	// skip constraints, a name template, and a persistent result store.
+	Sweep = sweep.Sweep
+	// SweepAxis is one named parameter dimension of a sweep.
+	SweepAxis = sweep.Axis
+	// SweepPoint is one expanded grid point: a concrete scenario plus its
+	// axis values and deterministic fingerprint.
+	SweepPoint = sweep.Point
+	// SweepResult is the outcome of one grid point.
+	SweepResult = sweep.Result
+	// SweepRecord is the serialized result form shared by the result store
+	// and the JSONL sink.
+	SweepRecord = sweep.Record
+	// SweepStore is the persistent fingerprint-keyed result store.
+	SweepStore = sweep.Store
+	// SweepSink consumes streamed sweep results (JSONL, CSV, or custom).
+	SweepSink = sweep.Sink
+	// SweepOption configures RunSweep.
+	SweepOption = sweep.Option
+)
+
+// RunSweep expands the sweep and executes it on a worker pool, yielding
+// results as they complete: stored results first (when resuming), then
+// live replays in completion order. Per-point failures ride in
+// SweepResult.Err; a non-nil iterator error (spec, store, or sink failure)
+// is fatal and ends the iteration. With a result store configured, every
+// successful replay persists under its scenario fingerprint and re-running
+// the sweep replays only the missing points.
+func RunSweep(ctx context.Context, sw *Sweep, opts ...SweepOption) iter.Seq2[SweepResult, error] {
+	return sweep.Run(ctx, sw, opts...)
+}
+
+// CollectSweep drains RunSweep into a slice ordered by grid index.
+func CollectSweep(ctx context.Context, sw *Sweep, opts ...SweepOption) ([]SweepResult, error) {
+	return sweep.Collect(ctx, sw, opts...)
+}
+
+// LoadSweep strictly decodes a JSON sweep spec from a file: unknown fields
+// anywhere in the spec fail with an error naming the offending field.
+func LoadSweep(path string) (*Sweep, error) { return sweep.Load(path) }
+
+// WithSweepWorkers sets the sweep worker-pool size; n < 1 selects
+// GOMAXPROCS.
+func WithSweepWorkers(n int) SweepOption { return sweep.WithWorkers(n) }
+
+// WithSink attaches a result sink; every streamed result is written to
+// each attached sink in completion order.
+func WithSink(s SweepSink) SweepOption { return sweep.WithSink(s) }
+
+// WithStore overrides the sweep's result-store directory.
+func WithStore(dir string) SweepOption { return sweep.WithStore(dir) }
+
+// WithResume overrides the sweep's resume mode: "auto" (default — reuse
+// stored results when a store is configured), "on" (require a store), or
+// "off" (re-run everything, overwriting stored results).
+func WithResume(mode string) SweepOption { return sweep.WithResume(mode) }
+
+// NewJSONLSink writes one JSON SweepRecord per line to w; the lines read
+// back with ReadSweepRecords and round-trip through the result store.
+func NewJSONLSink(w io.Writer) SweepSink { return sweep.NewJSONLSink(w) }
+
+// NewCSVSink writes results as CSV rows to w, with one extra column per
+// named axis.
+func NewCSVSink(w io.Writer, axes ...string) SweepSink { return sweep.NewCSVSink(w, axes...) }
+
+// ReadSweepRecords decodes a JSONL stream of sweep records (the JSONL
+// sink's output).
+func ReadSweepRecords(r io.Reader) ([]*SweepRecord, error) { return sweep.ReadRecords(r) }
+
+// OpenSweepStore opens (creating if needed) a sweep result store.
+func OpenSweepStore(dir string) (*SweepStore, error) { return sweep.OpenStore(dir) }
+
+// ScenarioFingerprint returns the deterministic identity of a scenario's
+// replay-relevant configuration (hex SHA-256 of its canonical JSON, display
+// name excluded) — the key sweeps store results under.
+func ScenarioFingerprint(s *Scenario) (string, error) { return sweep.Fingerprint(s) }
 
 // Workload types.
 type (
