@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sweep service: start `tireplay serve`
+# with no embedded workers, drain a small LU grid with two external
+# `tireplay work` processes, and prove the streamed results are
+# bit-identical (fingerprint -> simulated time) to a plain local run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/tireplay" ./cmd/tireplay
+go build -o "$workdir/sweepdiff" ./cmd/sweepdiff
+
+cat > "$workdir/grid.json" <<'EOF'
+{
+  "name": "smoke",
+  "base": {
+    "platform": {"name": "smoke", "topology": "flat", "hosts": 8, "speed": 1e9,
+                 "link_bandwidth": 1.25e8, "link_latency": 2e-5,
+                 "backbone_bandwidth": 1.25e9, "backbone_latency": 1e-6},
+    "workload": {"benchmark": "lu", "class": "S", "procs": 2, "iterations": 1}
+  },
+  "name_format": "lu-{procs}p-i{iters}",
+  "axes": [
+    {"name": "procs", "values": [
+       {"workload.procs": 2, "platform.hosts": 2},
+       {"workload.procs": 4, "platform.hosts": 4},
+       {"workload.procs": 8, "platform.hosts": 8}],
+     "labels": ["2", "4", "8"]},
+    {"name": "iters", "path": "workload.iterations", "values": [1, 2]}
+  ]
+}
+EOF
+
+echo "== local baseline"
+"$workdir/tireplay" -sweep "$workdir/grid.json" -out "$workdir/want.jsonl"
+
+echo "== serve (no embedded workers) + 2 external workers"
+addr=127.0.0.1:9411
+"$workdir/tireplay" serve -addr "$addr" -store "$workdir/store" -workers -1 -v &
+"$workdir/tireplay" work -server "http://$addr" -poll 250ms -name w1 &
+"$workdir/tireplay" work -server "http://$addr" -poll 250ms -name w2 &
+
+echo "== client submit + stream"
+"$workdir/tireplay" -sweep "$workdir/grid.json" -server "http://$addr" -out "$workdir/got.jsonl" -v
+
+echo "== diff against baseline"
+"$workdir/sweepdiff" "$workdir/want.jsonl" "$workdir/got.jsonl"
+
+echo "== resubmit: everything must come from the server's store"
+"$workdir/tireplay" -sweep "$workdir/grid.json" -server "http://$addr" -out "$workdir/again.jsonl" -v
+"$workdir/sweepdiff" "$workdir/want.jsonl" "$workdir/again.jsonl"
+if ! grep -q '"cached":true' "$workdir/again.jsonl"; then
+  echo "resubmitted results were not served from the store" >&2
+  exit 1
+fi
+
+echo "serve smoke: OK"

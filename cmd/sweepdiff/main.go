@@ -1,0 +1,94 @@
+// Command sweepdiff compares two JSONL sweep-result files (the JSONL
+// sink's output, or a served result stream saved with -out) on the
+// replay-identity mapping fingerprint → (simulated time, actions). Wall
+// times, completion order, cached flags, and sweep names are ignored —
+// they legitimately differ between runs — but a missing, extra, or
+// numerically different record is an error.
+//
+//	sweepdiff want.jsonl got.jsonl
+//
+// Exit status 0 means the files agree bit for bit on every replay;
+// 1 means they differ (differences are listed); 2 is a usage error.
+// The CI smoke job uses this to prove the sweep service's distributed
+// drain is bit-identical to a single-process run.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tireplay"
+)
+
+type identity struct {
+	simulated float64
+	actions   int64
+	err       string
+}
+
+func load(path string) (map[string]identity, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := tireplay.ReadSweepRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]identity, len(recs))
+	for _, rec := range recs {
+		id := identity{err: rec.Err}
+		if rec.Replay != nil {
+			id.simulated = rec.Replay.SimulatedTime
+			id.actions = rec.Replay.Actions
+		}
+		if prev, ok := out[rec.Fingerprint]; ok && prev != id {
+			return nil, fmt.Errorf("%s: fingerprint %s appears with two different results", path, rec.Fingerprint)
+		}
+		out[rec.Fingerprint] = id
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: sweepdiff want.jsonl got.jsonl")
+		os.Exit(2)
+	}
+	want, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepdiff:", err)
+		os.Exit(2)
+	}
+	got, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepdiff:", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for fp, w := range want {
+		g, ok := got[fp]
+		if !ok {
+			fmt.Printf("missing: %s (want %.17g s)\n", fp, w.simulated)
+			bad = true
+			continue
+		}
+		if g != w {
+			fmt.Printf("differs: %s want (%.17g s, %d actions, err %q) got (%.17g s, %d actions, err %q)\n",
+				fp, w.simulated, w.actions, w.err, g.simulated, g.actions, g.err)
+			bad = true
+		}
+	}
+	for fp := range got {
+		if _, ok := want[fp]; !ok {
+			fmt.Printf("extra: %s\n", fp)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("sweepdiff: %d fingerprints, bit-identical\n", len(want))
+}

@@ -25,18 +25,45 @@
 // without replaying, so later replays and CI runs start warm:
 //
 //	tireplay -compile -desc traces/lu_b8.desc [-np 8]
+//
+// Service usage — a long-lived sweep server sharing one result store
+// across many clients (identical points replay exactly once), with
+// work-stealing worker processes draining the queue:
+//
+//	tireplay serve -addr :9411 -store results.store [-workers N] [-lease-ttl 30s]
+//	tireplay work -server http://host:9411 [-workers N] [-name w1]
+//	tireplay -sweep grid.json -server http://host:9411 [-out results.jsonl]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"tireplay"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "work":
+			runWork(os.Args[2:])
+			return
+		}
+	}
+	runMain()
+}
+
+func runMain() {
 	desc := flag.String("desc", "", "trace description file (one trace file per rank, or a single merged trace)")
 	np := flag.Int("np", 0, "number of ranks (required with a merged trace; otherwise inferred)")
 	platPath := flag.String("platform", "", "platform description (JSON)")
@@ -53,6 +80,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print engine statistics / batch progress")
 	compile := flag.Bool("compile", false, "compile -desc into a sibling .tib binary trace cache and exit")
 	cache := flag.String("trace-cache", "auto", "binary trace cache mode: auto, on, or off")
+	server := flag.String("server", "", "with -sweep: submit to this sweep server (tireplay serve) instead of running locally")
 	flag.Parse()
 
 	if *compile {
@@ -81,6 +109,10 @@ func main() {
 	}
 
 	if *sweepSpec != "" {
+		if *server != "" {
+			runRemoteSweep(*sweepSpec, *server, *out, *csvOut, *verbose)
+			return
+		}
 		runSweep(*sweepSpec, *out, *csvOut, *storeDir, *resume, *workers, *verbose)
 		return
 	}
@@ -238,6 +270,167 @@ func name(r tireplay.ScenarioResult) string {
 		return r.Scenario.Name
 	}
 	return fmt.Sprintf("scenario %d", r.Index)
+}
+
+// runServe starts the sweep service: HTTP submit/stream endpoints, a
+// shared result store, an embedded worker pool, and the lease protocol
+// external `tireplay work` processes drain the queue through.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("tireplay serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9411", "listen address")
+	storeDir := fs.String("store", "", "shared result-store directory (required)")
+	workers := fs.Int("workers", 0, "embedded worker-pool size (0 = all CPUs, negative = external workers only)")
+	ttl := fs.Duration("lease-ttl", 30*time.Second, "work lease time-to-live (heartbeat interval is derived from it)")
+	verbose := fs.Bool("v", false, "log submissions, leases, and expirations")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "tireplay serve: -store is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	cfg := tireplay.ServeConfig{Store: *storeDir, Workers: *workers, LeaseTTL: *ttl}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "tireplay: serving on http://%s (store %s)\n", *addr, *storeDir)
+	fatal(tireplay.Serve(ctx, *addr, cfg))
+}
+
+// runWork runs lease-replay-post worker loops against a sweep server
+// until interrupted. Started before its server, or across a server
+// restart, it just keeps polling.
+func runWork(args []string) {
+	fs := flag.NewFlagSet("tireplay work", flag.ExitOnError)
+	server := fs.String("server", "", "sweep server base URL, e.g. http://host:9411 (required)")
+	workers := fs.Int("workers", 1, "concurrent replay loops in this process")
+	name := fs.String("name", "", "worker name reported to the server (default pid)")
+	poll := fs.Duration("poll", 2*time.Second, "lease long-poll window and transport-error backoff")
+	verbose := fs.Bool("v", false, "log leases and retries")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "tireplay work: -server is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("pid%d", os.Getpid())
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		opts := tireplay.WorkerOptions{Name: fmt.Sprintf("%s/%d", *name, i), Poll: *poll}
+		if *verbose {
+			opts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tireplay.Work(ctx, *server, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "tireplay work:", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runRemoteSweep submits a sweep spec to a server and streams the
+// results back, printing and sinking them exactly like a local run.
+func runRemoteSweep(specPath, server, out, csvOut string, verbose bool) {
+	sw, err := tireplay.LoadSweep(specPath)
+	fatal(err)
+	ctx := context.Background()
+	fatal(waitForServer(ctx, server, 30*time.Second))
+
+	sub, err := tireplay.SubmitSweep(ctx, server, sw)
+	fatal(err)
+	if verbose {
+		fmt.Fprintf(os.Stderr, "sweep %s: %d points (%d cached, %d merged, %d pending) as %s\n",
+			sw.Name, sub.Points, sub.Cached, sub.Merged, sub.Pending, sub.ID)
+	}
+
+	var sinks []tireplay.SweepSink
+	if out != "" {
+		f, err := os.Create(out)
+		fatal(err)
+		defer f.Close()
+		sinks = append(sinks, tireplay.NewJSONLSink(f))
+	}
+	if csvOut != "" {
+		axes := make([]string, len(sw.Axes))
+		for i := range sw.Axes {
+			axes[i] = sw.Axes[i].Name
+		}
+		f, err := os.Create(csvOut)
+		fatal(err)
+		defer f.Close()
+		sinks = append(sinks, tireplay.NewCSVSink(f, axes...))
+	}
+
+	done, failed, cached := 0, 0, 0
+	for rec, err := range tireplay.StreamResults(ctx, server, sub.ID) {
+		fatal(err)
+		for _, s := range sinks {
+			fatal(s.Write(rec))
+		}
+		done++
+		if rec.Err != "" {
+			failed++
+			fmt.Printf("%-24s ERROR: %s\n", rec.Name, rec.Err)
+			continue
+		}
+		tag := ""
+		if rec.Cached {
+			cached++
+			tag = "   (stored)"
+		}
+		fmt.Printf("%-24s simulated %10.6f s   (%d actions in %v)%s\n",
+			rec.Name, rec.Replay.SimulatedTime, rec.Replay.Actions, rec.Replay.Wall, tag)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, sub.Points, rec.Name)
+		}
+	}
+	if verbose && cached > 0 {
+		fmt.Fprintf(os.Stderr, "tireplay: %d of %d points served from the server's store\n", cached, done)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tireplay: %d of %d sweep points failed\n", failed, done)
+		os.Exit(1)
+	}
+}
+
+// waitForServer polls the server's health endpoint so a client (or CI
+// smoke script) started alongside the server does not race its bind.
+func waitForServer(ctx context.Context, server string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, server+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep server %s unreachable after %v: %v", server, timeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 func fatal(err error) {

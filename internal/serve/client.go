@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tireplay/internal/scenario"
+	"tireplay/internal/sweep"
+)
+
+// ErrLeaseLost reports a heartbeat on a lease the server no longer
+// holds (expired and reclaimed, or the point already completed).
+var ErrLeaseLost = errors.New("serve: lease lost")
+
+// Client talks to a sweep server. The zero HTTP client is replaced by
+// http.DefaultClient; result streams and long-poll leases hold their
+// connection as long as the passed context allows.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base, e.g.
+// "http://127.0.0.1:9411".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil). A non-2xx status returns an error carrying the server's
+// message; 204 returns (false, nil) with out untouched.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) (bool, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return false, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("serve: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode == http.StatusNotFound && strings.Contains(string(msg), "lease") {
+			err = fmt.Errorf("%w: %s", ErrLeaseLost, strings.TrimSpace(string(msg)))
+		}
+		return false, err
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("serve: decoding %s response: %w", path, err)
+		}
+	}
+	return true, nil
+}
+
+// Submit registers a sweep with the server and returns its ID and
+// point accounting. Identical points already stored or in flight are
+// not recomputed.
+func (c *Client) Submit(ctx context.Context, sw *sweep.Sweep) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if _, err := c.do(ctx, http.MethodPost, "/sweeps", sw, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status reports a submitted sweep's progress.
+func (c *Client) Status(ctx context.Context, id string) (*SweepStatus, error) {
+	var st SweepStatus
+	if _, err := c.do(ctx, http.MethodGet, "/sweeps/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stats reports the server's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if _, err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stream yields a submitted sweep's records in completion order,
+// blocking (server-side) until every point is done. A non-nil error
+// ends the iteration; a stream that the server closed before all
+// announced points arrived surfaces as a truncation error.
+func (c *Client) Stream(ctx context.Context, id string) iter.Seq2[*sweep.Record, error] {
+	return func(yield func(*sweep.Record, error) bool) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/sweeps/"+id+"/results", nil)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			yield(nil, fmt.Errorf("serve: streaming results: %s: %s", resp.Status, strings.TrimSpace(string(msg))))
+			return
+		}
+		total, _ := strconv.Atoi(resp.Header.Get("X-Tireplay-Points"))
+		dec := json.NewDecoder(resp.Body)
+		got := 0
+		for {
+			var rec sweep.Record
+			if err := dec.Decode(&rec); err == io.EOF {
+				if got < total {
+					yield(nil, fmt.Errorf("serve: result stream truncated: %d of %d records (server shut down?)", got, total))
+				}
+				return
+			} else if err != nil {
+				yield(nil, fmt.Errorf("serve: decoding result stream: %w", err))
+				return
+			}
+			got++
+			if !yield(&rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Collect drains Stream into a slice.
+func (c *Client) Collect(ctx context.Context, id string) ([]*sweep.Record, error) {
+	var out []*sweep.Record
+	for rec, err := range c.Stream(ctx, id) {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Lease asks the server for one point of work, long-polling up to wait.
+// No work within the window returns (nil, nil).
+func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (*Lease, error) {
+	var l Lease
+	ok, err := c.do(ctx, http.MethodPost, "/lease", &LeaseRequest{Worker: worker, WaitMS: int(wait.Milliseconds())}, &l)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Heartbeat extends a lease's TTL; ErrLeaseLost means the server
+// reclaimed it (the replay may still be posted — results are
+// idempotent).
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	_, err := c.do(ctx, http.MethodPost, "/lease/"+leaseID+"/heartbeat", struct{}{}, nil)
+	return err
+}
+
+// PushResult posts a completed point back to the server.
+func (c *Client) PushResult(ctx context.Context, res *WorkerResult) error {
+	_, err := c.do(ctx, http.MethodPost, "/results", res, nil)
+	return err
+}
+
+// WorkerOptions configures a Work loop.
+type WorkerOptions struct {
+	// Name identifies the worker in server logs.
+	Name string
+	// Poll is the lease long-poll window and the retry backoff after a
+	// transport error; 0 selects 2s.
+	Poll time.Duration
+	// Logf, when set, receives one line per lease/replay/retry.
+	Logf func(format string, args ...any)
+}
+
+// Work runs one worker loop against a sweep server: lease a point,
+// replay it locally (heartbeating the lease), post the record back,
+// repeat. Transport errors back off and retry — a worker started before
+// its server, or surviving a server restart, just keeps polling. Work
+// returns when ctx is cancelled.
+func Work(ctx context.Context, server string, opts WorkerOptions) error {
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := NewClient(server)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		l, err := c.Lease(ctx, opts.Name, opts.Poll)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			logf("work: lease: %v (retrying)", err)
+			sleep(ctx, opts.Poll)
+			continue
+		}
+		if l == nil {
+			continue // long poll expired with no work
+		}
+		logf("work: leased %s", l.Fingerprint)
+		res := runLease(ctx, c, l)
+		for attempt := 0; ; attempt++ {
+			err := c.PushResult(ctx, res)
+			if err == nil {
+				break
+			}
+			if ctx.Err() != nil || attempt >= 4 {
+				logf("work: posting %s: %v (giving up; lease will expire)", l.Fingerprint, err)
+				break
+			}
+			logf("work: posting %s: %v (retrying)", l.Fingerprint, err)
+			sleep(ctx, opts.Poll)
+		}
+	}
+}
+
+// runLease replays a leased scenario, heartbeating until done.
+func runLease(ctx context.Context, c *Client, l *Lease) *WorkerResult {
+	res := &WorkerResult{Lease: l.ID, Fingerprint: l.Fingerprint}
+
+	// The scenario arrives as strict JSON: a worker from a different
+	// build that does not understand a field refuses the point (and the
+	// lease expires back to the queue) instead of replaying it wrong.
+	var sc scenario.Scenario
+	dec := json.NewDecoder(bytes.NewReader(l.Scenario))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		res.Err = fmt.Sprintf("decoding leased scenario: %v", err)
+		return res
+	}
+
+	hctx, stopHeartbeat := context.WithCancel(ctx)
+	defer stopHeartbeat()
+	go func() {
+		interval := time.Duration(l.TTLMS) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hctx.Done():
+				return
+			case <-t.C:
+				if err := c.Heartbeat(hctx, l.ID); errors.Is(err, ErrLeaseLost) {
+					return // keep replaying; the posted result is still accepted
+				}
+			}
+		}
+	}()
+
+	replay, err := sc.Run(ctx)
+	stopHeartbeat()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Replay = replay
+	return res
+}
+
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,124 @@
+// Package serve turns the sweep subsystem into a long-lived service: a
+// Server exposes sweeps over HTTP — submit a Sweep spec, stream its
+// results back as NDJSON in completion order — backed by one shared
+// result store, so many clients submitting overlapping what-if grids
+// cost exactly one replay per distinct scenario fingerprint. Points
+// already in the store are served from cache; points currently being
+// replayed for one client are joined, not recomputed, by every other
+// client that wants them (a singleflight table keyed by fingerprint).
+//
+// Execution is decoupled from the HTTP layer by a work-stealing queue:
+// the server can run an embedded worker pool, and any number of external
+// worker processes (Work, or `tireplay work`) lease points over HTTP,
+// replay them locally, and post the records back. Leases carry a TTL and
+// are heartbeat-extended; a worker that dies has its point returned to
+// the queue, so a grid always drains as long as one worker survives.
+//
+// Endpoints:
+//
+//	POST /sweeps                    submit a sweep spec (strict JSON) → SubmitResponse
+//	GET  /sweeps/{id}               sweep progress → SweepStatus
+//	GET  /sweeps/{id}/results       NDJSON stream of sweep.Record, completion order
+//	POST /lease                     lease one point (long-poll) → Lease, or 204
+//	POST /lease/{id}/heartbeat      extend a lease's TTL
+//	POST /results                   post a completed point → 204
+//	GET  /stats                     server counters → Stats
+//	GET  /healthz                   liveness probe
+package serve
+
+import (
+	"encoding/json"
+
+	"tireplay/internal/core"
+)
+
+// SubmitResponse answers POST /sweeps.
+type SubmitResponse struct {
+	// ID names the registered sweep in the status/results endpoints.
+	ID string `json:"id"`
+	// Points is the expanded grid size.
+	Points int `json:"points"`
+	// Cached counts points whose result was already available at submit
+	// time (from the store or an earlier in-memory completion).
+	Cached int `json:"cached"`
+	// Pending counts points queued or currently replaying.
+	Pending int `json:"pending"`
+	// Merged counts points that joined a computation already in flight
+	// for another client instead of enqueueing their own.
+	Merged int `json:"merged"`
+}
+
+// SweepStatus answers GET /sweeps/{id}.
+type SweepStatus struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Points int    `json:"points"`
+	// Done counts points with a terminal result (success or failure).
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	// Cached counts points served from the store at submit time.
+	Cached int `json:"cached"`
+}
+
+// LeaseRequest asks for one point of work.
+type LeaseRequest struct {
+	// Worker optionally identifies the worker in server logs.
+	Worker string `json:"worker,omitempty"`
+	// WaitMS long-polls: the server holds the request up to this long
+	// waiting for work before answering 204.
+	WaitMS int `json:"wait_ms,omitempty"`
+}
+
+// Lease hands one point to a worker.
+type Lease struct {
+	// ID names the lease in heartbeats and result posts.
+	ID string `json:"id"`
+	// Fingerprint is the point's scenario fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// TTLMS is the lease's time-to-live; heartbeat within it or the point
+	// returns to the queue.
+	TTLMS int64 `json:"ttl_ms"`
+	// Scenario is the serialized scenario to replay.
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// WorkerResult posts a completed point back (POST /results). Results are
+// content-addressed by fingerprint and idempotent: a result arriving
+// after the lease expired (or after another worker already finished the
+// point) is accepted and simply changes nothing.
+type WorkerResult struct {
+	// Lease is the originating lease ID; informational — an expired lease
+	// does not invalidate the result.
+	Lease string `json:"lease,omitempty"`
+	// Fingerprint identifies the point.
+	Fingerprint string `json:"fingerprint"`
+	// Replay is the replay outcome, nil on failure.
+	Replay *core.Result `json:"replay,omitempty"`
+	// Err is the failure message, "" on success.
+	Err string `json:"error,omitempty"`
+}
+
+// Stats answers GET /stats.
+type Stats struct {
+	// Sweeps counts submitted sweeps.
+	Sweeps int `json:"sweeps"`
+	// Fingerprints counts distinct scenario fingerprints seen.
+	Fingerprints int `json:"fingerprints"`
+	// Replayed counts live replays completed successfully — the number
+	// the dedup guarantee is about: overlapping submissions never raise
+	// it past the distinct-fingerprint count.
+	Replayed int `json:"replayed"`
+	// Failed counts points that completed with an error.
+	Failed int `json:"failed"`
+	// CacheHits counts point submissions answered from the result store.
+	CacheHits int `json:"cache_hits"`
+	// Merged counts point submissions that joined an in-flight replay.
+	Merged int `json:"merged"`
+	// ExpiredLeases counts leases reclaimed by the TTL janitor.
+	ExpiredLeases int `json:"expired_leases"`
+	// Queued and Leased are current queue depths.
+	Queued int `json:"queued"`
+	Leased int `json:"leased"`
+	// StoreWarm is the record count found in the store at startup.
+	StoreWarm int `json:"store_warm"`
+}

@@ -1,0 +1,670 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tireplay/internal/scenario"
+	"tireplay/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the shared result-store directory (required): every
+	// completed point persists there, and submissions are answered from
+	// it across server restarts.
+	Store string
+	// Workers sizes the embedded worker pool: 0 selects GOMAXPROCS,
+	// negative disables embedded execution (external workers only).
+	Workers int
+	// LeaseTTL is how long a leased point may go without a heartbeat
+	// before it returns to the queue; 0 selects 30s.
+	LeaseTTL time.Duration
+	// Logf, when set, receives one line per notable server event
+	// (submissions, expired leases, store failures).
+	Logf func(format string, args ...any)
+}
+
+// Point lifecycle states.
+const (
+	pQueued = iota
+	pLeased
+	pDone
+)
+
+// point is the singleflight entry for one distinct scenario fingerprint:
+// however many sweeps (from however many clients) contain it, it is
+// queued, leased, replayed, and completed exactly once.
+type point struct {
+	fp           string
+	scenario     *scenario.Scenario
+	scenarioJSON json.RawMessage
+	state        int
+	// record is the canonical result (fingerprint, replay, error), set
+	// once state is pDone. Per-sweep metadata is applied at emission.
+	record  *sweep.Record
+	leaseID string
+	// expiry is the lease deadline; zero for embedded leases (same
+	// process — a lost embedded worker means a lost server).
+	expiry time.Time
+	// subs are the sweeps waiting on this point.
+	subs []*sweepRun
+}
+
+// sweepRun is one submitted sweep: its expanded grid plus the completion
+// order its result streams replay.
+type sweepRun struct {
+	id     string
+	name   string
+	points []sweep.Point
+	// fpIndex maps a fingerprint to the grid indices it satisfies (two
+	// points of one grid can share a fingerprint, e.g. label-only axes).
+	fpIndex map[string][]int
+	// cached marks grid indices served from the store at submit time.
+	cached []bool
+	// order is the completion order of grid indices; streams index into
+	// it and wait on notify for growth.
+	order  []int
+	failed int
+	notify chan struct{}
+}
+
+func (r *sweepRun) completeLocked(fp string, failed bool) {
+	for _, idx := range r.fpIndex[fp] {
+		r.order = append(r.order, idx)
+		if failed {
+			r.failed++
+		}
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// Server is the sweep service: shared store, singleflight dedup,
+// work-stealing queue, lease janitor, and (optionally) embedded workers.
+// Create with New, expose via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	store *sweep.Store
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	queue   []*point
+	qnotify chan struct{} // closed+replaced when the queue grows
+	points  map[string]*point
+	sweeps  map[string]*sweepRun
+	leases  map[string]*point
+	stats   Stats
+	closed  bool
+
+	closing chan struct{}
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a Server over the configured store and starts its embedded
+// workers and lease janitor.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == "" {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	st, err := sweep.OpenStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := st.Len()
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning store: %w", err)
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		store:   st,
+		qnotify: make(chan struct{}),
+		points:  make(map[string]*point),
+		sweeps:  make(map[string]*sweepRun),
+		leases:  make(map[string]*point),
+		closing: make(chan struct{}),
+	}
+	s.stats.StoreWarm = warm
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /lease", s.handleLease)
+	s.mux.HandleFunc("POST /lease/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /results", s.handleResult)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.runEmbedded(ctx)
+	}
+
+	s.wg.Add(1)
+	go s.runJanitor(ctx)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the server's result store.
+func (s *Server) Store() *sweep.Store { return s.store }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Sweeps = len(s.sweeps)
+	st.Fingerprints = len(s.points)
+	st.Queued = len(s.queue)
+	st.Leased = len(s.leases)
+	return st
+}
+
+// Close stops the embedded workers and janitor and ends every open
+// result stream. In-flight external leases are abandoned (their posts
+// will fail); the store keeps everything already completed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// register adds a sweep's expanded points to the dedup table and queue,
+// answering from the store where possible. Called with s.mu NOT held.
+func (s *Server) register(sw *sweep.Sweep, points []sweep.Point) (*sweepRun, SubmitResponse) {
+	run := &sweepRun{
+		id:      newID(),
+		name:    sw.Name,
+		points:  points,
+		fpIndex: make(map[string][]int),
+		cached:  make([]bool, len(points)),
+		notify:  make(chan struct{}),
+	}
+	var resp SubmitResponse
+	resp.ID = run.id
+	resp.Points = len(points)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pt := range points {
+		run.fpIndex[pt.Fingerprint] = append(run.fpIndex[pt.Fingerprint], pt.Index)
+	}
+	grew := false
+	for _, pt := range points {
+		if len(run.fpIndex[pt.Fingerprint]) > 0 && run.fpIndex[pt.Fingerprint][0] != pt.Index {
+			continue // later duplicate of a fingerprint this sweep already handled
+		}
+		p := s.points[pt.Fingerprint]
+		if p == nil {
+			// First time this server sees the scenario: store, then queue.
+			rec, err := s.store.Get(pt.Fingerprint)
+			if err == nil && rec != nil && rec.Replay != nil {
+				p = &point{fp: pt.Fingerprint, state: pDone,
+					record: &sweep.Record{Fingerprint: pt.Fingerprint, Replay: rec.Replay}}
+				s.points[pt.Fingerprint] = p
+			} else {
+				if err != nil {
+					// A corrupt stored record is not fatal: re-replay it.
+					s.logf("serve: store: %v (re-replaying)", err)
+				}
+				scJSON, merr := json.Marshal(pt.Scenario)
+				if merr != nil {
+					// Cannot happen for a sweep-expanded scenario; fail the
+					// point rather than the submission.
+					p = &point{fp: pt.Fingerprint, state: pDone,
+						record: &sweep.Record{Fingerprint: pt.Fingerprint, Err: merr.Error()}}
+					s.points[pt.Fingerprint] = p
+				} else {
+					p = &point{fp: pt.Fingerprint, scenario: pt.Scenario, scenarioJSON: scJSON, state: pQueued}
+					s.points[pt.Fingerprint] = p
+					s.queue = append(s.queue, p)
+					grew = true
+				}
+			}
+		} else if p.state != pDone {
+			s.stats.Merged++
+			resp.Merged++
+		}
+		if p.state == pDone {
+			fromStore := p.record.Err == "" // errors are never store hits
+			for _, idx := range run.fpIndex[pt.Fingerprint] {
+				run.order = append(run.order, idx)
+				if p.record.Err != "" {
+					run.failed++
+				}
+				run.cached[idx] = fromStore
+				if fromStore {
+					s.stats.CacheHits++
+					resp.Cached++
+				}
+			}
+		} else {
+			p.subs = append(p.subs, run)
+			resp.Pending += len(run.fpIndex[pt.Fingerprint])
+		}
+	}
+	if grew {
+		close(s.qnotify)
+		s.qnotify = make(chan struct{})
+	}
+	s.sweeps[run.id] = run
+	return run, resp
+}
+
+// complete finalizes one point: persist (successes only — failures stay
+// in memory so the service can retry them after a restart), then mark
+// done and wake every subscribed sweep. Idempotent: late or duplicate
+// results for an already-done point change nothing.
+func (s *Server) complete(p *point, replay *sweep.Record) error {
+	canon := &sweep.Record{Fingerprint: p.fp, Replay: replay.Replay, Err: replay.Err}
+	if canon.Err == "" && canon.Replay != nil {
+		if err := s.store.Put(canon); err != nil {
+			s.logf("serve: persisting %s: %v", p.fp, err)
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.state == pDone {
+		return nil
+	}
+	if p.leaseID != "" {
+		delete(s.leases, p.leaseID)
+		p.leaseID = ""
+	}
+	p.state = pDone
+	p.record = canon
+	if canon.Err == "" {
+		s.stats.Replayed++
+	} else {
+		s.stats.Failed++
+	}
+	for _, run := range p.subs {
+		run.completeLocked(p.fp, canon.Err != "")
+	}
+	p.subs = nil
+	return nil
+}
+
+// popLocked removes the next queued point; requeue tombstones (entries
+// whose state moved on) are skipped.
+func (s *Server) popLocked() *point {
+	for len(s.queue) > 0 {
+		p := s.queue[0]
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+		if p.state == pQueued {
+			return p
+		}
+	}
+	return nil
+}
+
+// waitLease blocks until a point can be leased, the wait budget runs
+// out (wait >= 0), or ctx/the server ends. embedded leases carry no
+// expiry and are exempt from the janitor.
+func (s *Server) waitLease(ctx context.Context, wait time.Duration, embedded bool) (*Lease, *point) {
+	var deadline time.Time
+	if wait >= 0 {
+		deadline = time.Now().Add(wait)
+	}
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, nil
+		}
+		if p := s.popLocked(); p != nil {
+			id := newID()
+			p.state = pLeased
+			p.leaseID = id
+			if embedded {
+				p.expiry = time.Time{}
+			} else {
+				p.expiry = time.Now().Add(s.cfg.LeaseTTL)
+			}
+			s.leases[id] = p
+			l := &Lease{ID: id, Fingerprint: p.fp, TTLMS: s.cfg.LeaseTTL.Milliseconds(), Scenario: p.scenarioJSON}
+			s.mu.Unlock()
+			return l, p
+		}
+		ch := s.qnotify
+		s.mu.Unlock()
+
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if wait >= 0 {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return nil, nil
+			}
+			timer = time.NewTimer(rem)
+			timeout = timer.C
+		}
+		stop := false
+		select {
+		case <-ch:
+		case <-timeout:
+			stop = true
+		case <-s.closing:
+			stop = true
+		case <-ctx.Done():
+			stop = true
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if stop {
+			return nil, nil
+		}
+	}
+}
+
+// requeueLocked returns a leased point to the queue.
+func (s *Server) requeueLocked(p *point) {
+	if p.leaseID != "" {
+		delete(s.leases, p.leaseID)
+		p.leaseID = ""
+	}
+	if p.state != pDone {
+		p.state = pQueued
+		s.queue = append(s.queue, p)
+		close(s.qnotify)
+		s.qnotify = make(chan struct{})
+	}
+}
+
+// runEmbedded is one embedded worker: lease, replay, complete, repeat.
+func (s *Server) runEmbedded(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		_, p := s.waitLease(ctx, -1, true)
+		if p == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			s.mu.Lock()
+			s.requeueLocked(p)
+			s.mu.Unlock()
+			return
+		}
+		rec := runScenario(ctx, p.scenario)
+		rec.Fingerprint = p.fp
+		if err := s.complete(p, rec); err != nil {
+			// The replay succeeded but the store write failed; requeue so
+			// the result is not silently lost.
+			s.mu.Lock()
+			s.requeueLocked(p)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// runScenario replays one scenario into a canonical record.
+func runScenario(ctx context.Context, sc *scenario.Scenario) *sweep.Record {
+	res, err := sc.Run(ctx)
+	rec := &sweep.Record{Replay: res}
+	if err != nil {
+		rec.Replay = nil
+		rec.Err = err.Error()
+	}
+	return rec
+}
+
+// runJanitor reclaims expired leases.
+func (s *Server) runJanitor(ctx context.Context) {
+	defer s.wg.Done()
+	tick := s.cfg.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 2*time.Second {
+		tick = 2 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			for id, p := range s.leases {
+				if p.expiry.IsZero() || now.Before(p.expiry) {
+					continue
+				}
+				s.logf("serve: lease %s on %s expired; requeueing", id, p.fp)
+				s.stats.ExpiredLeases++
+				s.requeueLocked(p)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The strict decoder rejects typoed fields with an error naming them;
+	// expansion validates every point before anything is enqueued.
+	sw, err := sweep.ReadSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	run, resp := s.register(sw, points)
+	s.logf("serve: sweep %s (%s): %d points, %d cached, %d merged, %d pending",
+		run.id, sw.Name, resp.Points, resp.Cached, resp.Merged, resp.Pending)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run := s.sweeps[r.PathValue("id")]
+	if run == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "serve: unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	st := SweepStatus{ID: run.id, Name: run.name, Points: len(run.points),
+		Done: len(run.order), Failed: run.failed}
+	for _, c := range run.cached {
+		if c {
+			st.Cached++
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st) //nolint:errcheck
+}
+
+// recordLocked renders the run's idx-th grid point with the sweep's own
+// metadata around the shared canonical result.
+func (run *sweepRun) recordLocked(s *Server, idx int) *sweep.Record {
+	pt := run.points[idx]
+	canon := s.points[pt.Fingerprint].record
+	return &sweep.Record{
+		Sweep:       run.name,
+		Index:       pt.Index,
+		Name:        pt.Scenario.Name,
+		Fingerprint: pt.Fingerprint,
+		Values:      pt.Values,
+		Labels:      pt.Labels,
+		Cached:      run.cached[idx],
+		Replay:      canon.Replay,
+		Err:         canon.Err,
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run := s.sweeps[r.PathValue("id")]
+	s.mu.Unlock()
+	if run == nil {
+		httpError(w, http.StatusNotFound, "serve: unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Tireplay-Points", strconv.Itoa(len(run.points)))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		s.mu.Lock()
+		var recs []*sweep.Record
+		for ; next < len(run.order); next++ {
+			recs = append(recs, run.recordLocked(s, run.order[next]))
+		}
+		done := len(run.order) == len(run.points)
+		ch := run.notify
+		s.mu.Unlock()
+
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return // client went away
+			}
+		}
+		if flusher != nil && len(recs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+	}
+}
+
+// maxLeaseWait caps long-poll holds so a dead client's request cannot
+// pin a connection forever.
+const maxLeaseWait = 30 * time.Second
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "serve: decoding lease request: %v", err)
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	l, _ := s.waitLease(r.Context(), wait, false)
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.logf("serve: leased %s to %s (lease %s)", l.Fingerprint, req.Worker, l.ID)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(l) //nolint:errcheck
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	p := s.leases[id]
+	if p != nil {
+		p.expiry = time.Now().Add(s.cfg.LeaseTTL)
+	}
+	s.mu.Unlock()
+	if p == nil {
+		httpError(w, http.StatusNotFound, "serve: unknown or expired lease %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res WorkerResult
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		httpError(w, http.StatusBadRequest, "serve: decoding result: %v", err)
+		return
+	}
+	if res.Fingerprint == "" || (res.Replay == nil && res.Err == "") {
+		httpError(w, http.StatusBadRequest, "serve: result needs a fingerprint and a replay or an error")
+		return
+	}
+	s.mu.Lock()
+	p := s.points[res.Fingerprint]
+	s.mu.Unlock()
+	if p == nil {
+		httpError(w, http.StatusNotFound, "serve: unknown fingerprint %q", res.Fingerprint)
+		return
+	}
+	if err := s.complete(p, &sweep.Record{Fingerprint: res.Fingerprint, Replay: res.Replay, Err: res.Err}); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats()) //nolint:errcheck
+}

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"tireplay/internal/core"
 )
@@ -38,8 +41,12 @@ type Record struct {
 
 // Store is the persistent on-disk result store: one JSON Record per
 // completed point, keyed by scenario fingerprint, written atomically
-// (temp file + rename) so an interrupted sweep never leaves a torn
-// record. It is safe for concurrent use.
+// (unique temp file + fsync + rename) so an interrupted sweep never
+// leaves a torn record. It is safe for concurrent use — including
+// several Stores in several processes sharing one directory: temp names
+// are unique per writer, and because records are content-addressed by
+// fingerprint, concurrent writers of the same fingerprint race benignly
+// (last rename wins, all candidates encode the same scenario).
 type Store struct {
 	dir string
 }
@@ -83,7 +90,9 @@ func (st *Store) Get(fingerprint string) (*Record, error) {
 }
 
 // Put persists a record under its fingerprint, atomically replacing any
-// previous result for the same scenario.
+// previous result for the same scenario. The temp file is fsynced before
+// the rename, so a record that Put returned success for survives a crash
+// (a torn write can at worst lose the rename, never corrupt the record).
 func (st *Store) Put(rec *Record) error {
 	if rec.Fingerprint == "" {
 		return fmt.Errorf("sweep: record has no fingerprint")
@@ -92,11 +101,19 @@ func (st *Store) Put(rec *Record) error {
 	if err != nil {
 		return fmt.Errorf("sweep: encoding result: %w", err)
 	}
+	// os.CreateTemp picks a name unique across processes, so two writers
+	// of the same fingerprint never clobber each other's temp file; the
+	// final rename is atomic and last-write-wins.
 	tmp, err := os.CreateTemp(st.dir, rec.Fingerprint+".tmp*")
 	if err != nil {
 		return fmt.Errorf("sweep: writing result: %w", err)
 	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing result: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: writing result: %w", err)
@@ -109,20 +126,70 @@ func (st *Store) Put(rec *Record) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: writing result: %w", err)
 	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some filesystems refuse it, and the record data is already safe.
+	if d, err := os.Open(st.dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
 	return nil
+}
+
+// List iterates the fingerprints currently stored, in sorted order. A
+// directory read failure is yielded once as ("", err).
+func (st *Store) List() iter.Seq2[string, error] {
+	return func(yield func(string, error) bool) {
+		entries, err := os.ReadDir(st.dir)
+		if err != nil {
+			yield("", fmt.Errorf("sweep: listing store: %w", err))
+			return
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+				names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+			}
+		}
+		sort.Strings(names)
+		for _, fp := range names {
+			if !yield(fp, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Walk iterates the stored records (in fingerprint order), decoding each
+// lazily — the streaming counterpart of reading the whole directory. A
+// record that fails to load is yielded as (nil, err) and iteration
+// continues, so one corrupt file does not hide the rest.
+func (st *Store) Walk() iter.Seq2[*Record, error] {
+	return func(yield func(*Record, error) bool) {
+		for fp, err := range st.List() {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			rec, err := st.Get(fp)
+			if err == nil && rec == nil {
+				// Deleted between List and Get; not an error.
+				continue
+			}
+			if !yield(rec, err) {
+				return
+			}
+		}
+	}
 }
 
 // Len counts the records currently stored.
 func (st *Store) Len() (int, error) {
-	entries, err := os.ReadDir(st.dir)
-	if err != nil {
-		return 0, err
-	}
 	n := 0
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
-			n++
+	for _, err := range st.List() {
+		if err != nil {
+			return 0, err
 		}
+		n++
 	}
 	return n, nil
 }

@@ -29,7 +29,12 @@
 //     scenario plus axes, expanded deterministically, streamed through a
 //     worker pool into pluggable sinks (JSONL, CSV), and persisted in a
 //     fingerprint-keyed result store so interrupted or edited sweeps
-//     resume instead of re-running.
+//     resume instead of re-running;
+//   - the sweep service (Serve, SubmitSweep, StreamResults, Work): sweeps
+//     over HTTP against one shared result store, identical points
+//     deduplicated across concurrent clients by scenario fingerprint, and
+//     a work-stealing lease protocol so external worker processes on any
+//     machine help drain the queue with crash tolerance.
 //
 // Single replay quick start:
 //
@@ -81,9 +86,11 @@ package tireplay
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"net/http"
 
 	"tireplay/internal/calibrate"
 	"tireplay/internal/core"
@@ -95,6 +102,7 @@ import (
 	"tireplay/internal/platform"
 	"tireplay/internal/runner"
 	"tireplay/internal/scenario"
+	"tireplay/internal/serve"
 	"tireplay/internal/sim"
 	"tireplay/internal/sweep"
 	"tireplay/internal/trace"
@@ -307,6 +315,86 @@ func OpenSweepStore(dir string) (*SweepStore, error) { return sweep.OpenStore(di
 // replay-relevant configuration (hex SHA-256 of its canonical JSON, display
 // name excluded) — the key sweeps store results under.
 func ScenarioFingerprint(s *Scenario) (string, error) { return sweep.Fingerprint(s) }
+
+// Sweep service types: sweeps as a long-lived HTTP service with a shared
+// result store and work-stealing workers.
+type (
+	// ServeConfig parameterizes a sweep server (store directory, embedded
+	// worker count, lease TTL).
+	ServeConfig = serve.Config
+	// SweepServer is the sweep service: submitted sweeps are deduplicated
+	// by scenario fingerprint against one shared store, streamed back as
+	// NDJSON, and drained by embedded and external workers.
+	SweepServer = serve.Server
+	// SweepClient talks to a sweep server (submit, stream, lease).
+	SweepClient = serve.Client
+	// SweepSubmit is the server's accounting for one submission.
+	SweepSubmit = serve.SubmitResponse
+	// SweepServiceStatus is one submitted sweep's progress.
+	SweepServiceStatus = serve.SweepStatus
+	// ServeStats are the server's dedup/queue counters.
+	ServeStats = serve.Stats
+	// WorkerOptions configures a Work loop.
+	WorkerOptions = serve.WorkerOptions
+)
+
+// NewSweepServer builds a sweep server over a shared result store and
+// starts its embedded workers; expose it with Handler (any http mux) or
+// let Serve listen for you, and stop it with Close.
+func NewSweepServer(cfg ServeConfig) (*SweepServer, error) { return serve.New(cfg) }
+
+// NewSweepClient returns a client for the sweep server at base, e.g.
+// "http://127.0.0.1:9411".
+func NewSweepClient(base string) *SweepClient { return serve.NewClient(base) }
+
+// Serve runs a sweep server on addr until ctx is cancelled. Submitted
+// sweeps share one result store: points already stored are served from
+// cache, points in flight for one client are joined by every other, so N
+// clients submitting overlapping grids cost one replay per distinct
+// scenario fingerprint.
+func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			srv.Shutdown(context.Background()) //nolint:errcheck
+		case <-done:
+		}
+	}()
+	defer close(done)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// SubmitSweep registers a sweep with a running sweep server and returns
+// its ID and point accounting (cached, merged with in-flight work, or
+// newly queued).
+func SubmitSweep(ctx context.Context, server string, sw *Sweep) (*SweepSubmit, error) {
+	return serve.NewClient(server).Submit(ctx, sw)
+}
+
+// StreamResults yields a submitted sweep's records in completion order,
+// blocking until every point has a terminal result. Pair with
+// SubmitSweep's returned ID.
+func StreamResults(ctx context.Context, server, id string) iter.Seq2[*SweepRecord, error] {
+	return serve.NewClient(server).Stream(ctx, id)
+}
+
+// Work runs a worker loop against a sweep server: lease a point, replay
+// it locally, post the record back, repeat until ctx is cancelled.
+// Leases are heartbeat-extended; a worker that dies has its points
+// reclaimed by the server's lease TTL.
+func Work(ctx context.Context, server string, opts WorkerOptions) error {
+	return serve.Work(ctx, server, opts)
+}
 
 // Workload types.
 type (

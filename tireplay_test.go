@@ -1,9 +1,13 @@
 package tireplay_test
 
 import (
+	"context"
 	"math"
+	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"tireplay"
 )
@@ -130,6 +134,72 @@ func TestFacadeCalibration(t *testing.T) {
 	}
 	if ca.ARate <= 0 || ca.ClassRates[tireplay.ClassB] >= ca.ARate {
 		t.Fatalf("cache-aware rates = %+v", ca)
+	}
+}
+
+// TestFacadeSweepService drives the service surface end to end through
+// the facade alone: server over a shared store, submit, in-process
+// worker, streamed records matching a local CollectSweep bit for bit.
+func TestFacadeSweepService(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sw := &tireplay.Sweep{
+		Name: "facade-serve",
+		Base: tireplay.Scenario{
+			Platform: &tireplay.PlatformSpec{Name: "t", Topology: "flat", Hosts: 2,
+				Speed: 1e9, LinkBandwidth: 1.25e8, LinkLatency: 2e-5,
+				BackboneBandwidth: 1.25e9, BackboneLatency: 1e-6},
+			Workload: &tireplay.WorkloadSpec{Benchmark: "lu", Class: "S", Procs: 2, Iterations: 1},
+		},
+		Axes: []tireplay.SweepAxis{{Name: "iters", Path: "workload.iterations", Values: []any{1, 2}}},
+	}
+	local, err := tireplay.CollectSweep(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := tireplay.NewSweepServer(tireplay.ServeConfig{Store: t.TempDir(), Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tireplay.Work(ctx, ts.URL, tireplay.WorkerOptions{Poll: 50 * time.Millisecond})
+	}()
+	defer wg.Wait()
+	defer cancel()
+
+	sub, err := tireplay.SubmitSweep(ctx, ts.URL, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFP := make(map[string]float64)
+	for _, r := range local {
+		byFP[r.Point.Fingerprint] = r.Replay.SimulatedTime
+	}
+	got := 0
+	for rec, err := range tireplay.StreamResults(ctx, ts.URL, sub.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Err != "" {
+			t.Fatalf("point %s failed: %s", rec.Name, rec.Err)
+		}
+		want, ok := byFP[rec.Fingerprint]
+		if !ok || rec.Replay.SimulatedTime != want {
+			t.Fatalf("point %s: served %v, local %v (known %v)", rec.Name, rec.Replay.SimulatedTime, want, ok)
+		}
+		got++
+	}
+	if got != len(local) {
+		t.Fatalf("streamed %d records, want %d", got, len(local))
 	}
 }
 
