@@ -3,6 +3,9 @@
 # with no embedded workers, drain a small LU grid with two external
 # `tireplay work` processes, and prove the streamed results are
 # bit-identical (fingerprint -> simulated time) to a plain local run.
+# A second phase SIGKILLs a worker AND the server mid-sweep, restarts
+# the server on the same store+journal, and proves the client's stream
+# resumes to the same bit-identical record set.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,5 +58,70 @@ if ! grep -q '"cached":true' "$workdir/again.jsonl"; then
   echo "resubmitted results were not served from the store" >&2
   exit 1
 fi
+
+echo "== crash phase: SIGKILL a worker and the server mid-sweep, restart, resume"
+cat > "$workdir/grid2.json" <<'EOF'
+{
+  "name": "smoke-crash",
+  "base": {
+    "platform": {"name": "smoke", "topology": "flat", "hosts": 8, "speed": 1e9,
+                 "link_bandwidth": 1.25e8, "link_latency": 2e-5,
+                 "backbone_bandwidth": 1.25e9, "backbone_latency": 1e-6},
+    "workload": {"benchmark": "lu", "class": "S", "procs": 2, "iterations": 1}
+  },
+  "name_format": "lu-{procs}p-i{iters}",
+  "axes": [
+    {"name": "procs", "values": [
+       {"workload.procs": 2, "platform.hosts": 2},
+       {"workload.procs": 4, "platform.hosts": 4},
+       {"workload.procs": 8, "platform.hosts": 8}],
+     "labels": ["2", "4", "8"]},
+    {"name": "iters", "path": "workload.iterations", "values": [40, 80, 120]}
+  ]
+}
+EOF
+"$workdir/tireplay" -sweep "$workdir/grid2.json" -out "$workdir/want2.jsonl"
+
+addr2=127.0.0.1:9412
+store2="$workdir/store2"
+"$workdir/tireplay" serve -addr "$addr2" -store "$store2" -workers -1 -lease-ttl 2s -v &
+serve_pid=$!
+"$workdir/tireplay" work -server "http://$addr2" -poll 250ms -name doomed &
+doomed_pid=$!
+
+"$workdir/tireplay" -sweep "$workdir/grid2.json" -server "http://$addr2" \
+  -out "$workdir/got2.jsonl" -v &
+client_pid=$!
+
+# Wait until the client has streamed a couple of records — the sweep is
+# then provably mid-flight — and SIGKILL both the worker and the server.
+for i in $(seq 1 200); do
+  [ "$(wc -l < "$workdir/got2.jsonl" 2>/dev/null || echo 0)" -ge 2 ] && break
+  sleep 0.05
+done
+kill -9 "$doomed_pid" 2>/dev/null || true
+kill -9 "$serve_pid"  2>/dev/null || true
+
+# Restart on the same address, store, and journal — this incarnation
+# brings embedded workers to finish whatever the crash left pending.
+sleep 0.5
+"$workdir/tireplay" serve -addr "$addr2" -store "$store2" -workers 2 -lease-ttl 2s -v \
+  2> "$workdir/serve2.log" &
+
+if ! wait "$client_pid"; then
+  echo "client stream did not survive the server restart" >&2
+  cat "$workdir/serve2.log" >&2
+  exit 1
+fi
+"$workdir/sweepdiff" "$workdir/want2.jsonl" "$workdir/got2.jsonl"
+for i in $(seq 1 50); do
+  grep -q "recovered sweep" "$workdir/serve2.log" 2>/dev/null && break
+  if [ "$i" -eq 50 ]; then
+    echo "restarted server did not recover the open sweep from its journal" >&2
+    cat "$workdir/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
 
 echo "serve smoke: OK"

@@ -39,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	mrand "math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
@@ -281,6 +282,8 @@ func runServe(args []string) {
 	storeDir := fs.String("store", "", "shared result-store directory (required)")
 	workers := fs.Int("workers", 0, "embedded worker-pool size (0 = all CPUs, negative = external workers only)")
 	ttl := fs.Duration("lease-ttl", 30*time.Second, "work lease time-to-live (heartbeat interval is derived from it)")
+	maxAttempts := fs.Int("max-attempts", 0, "replay attempts per point before it is quarantined as a permanent failure (0 = default 3)")
+	drain := fs.Duration("drain", 0, "grace period on SIGTERM for in-flight leases to post results (0 = default 10s)")
 	verbose := fs.Bool("v", false, "log submissions, leases, and expirations")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if *storeDir == "" {
@@ -289,7 +292,8 @@ func runServe(args []string) {
 		os.Exit(2)
 	}
 
-	cfg := tireplay.ServeConfig{Store: *storeDir, Workers: *workers, LeaseTTL: *ttl}
+	cfg := tireplay.ServeConfig{Store: *storeDir, Workers: *workers, LeaseTTL: *ttl,
+		MaxAttempts: *maxAttempts, Drain: *drain}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -412,8 +416,13 @@ func runRemoteSweep(specPath, server, out, csvOut string, verbose bool) {
 
 // waitForServer polls the server's health endpoint so a client (or CI
 // smoke script) started alongside the server does not race its bind.
+// Probes back off exponentially with full jitter under an overall
+// deadline, so a fleet of workers pointed at a booting (or restarting)
+// server neither hammers it nor stampedes in lockstep when it appears.
 func waitForServer(ctx context.Context, server string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	wait := 50 * time.Millisecond
+	const maxWait = 2 * time.Second
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, server+"/healthz", nil)
 		if err != nil {
@@ -425,11 +434,19 @@ func waitForServer(ctx context.Context, server string, timeout time.Duration) er
 			if resp.StatusCode == http.StatusOK {
 				return nil
 			}
+			err = fmt.Errorf("healthz returned %s", resp.Status)
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("sweep server %s unreachable after %v: %v", server, timeout, err)
 		}
-		time.Sleep(200 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(mrand.Int64N(int64(wait))) + 1):
+		}
+		if wait *= 2; wait > maxWait {
+			wait = maxWait
+		}
 	}
 }
 

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosTransport is a deterministic fault-injecting http.RoundTripper
+// for exercising the service's failure semantics: wrap a client's (or
+// worker's) transport in one and every request draws from a seeded
+// schedule of connection drops, added latency, injected 500s, and
+// mid-body response cuts. The same seed over the same request sequence
+// replays the same faults — a failing chaos run is reproducible from
+// its seed, the same way a replay is reproducible from its trace.
+//
+// Faults are injected strictly on the client side of the wire: a
+// "dropped" request never reaches the server (the error fires before
+// forwarding), an injected 500 is synthesized without forwarding, and a
+// cut body truncates a response the server already sent. The server's
+// own state therefore stays honest — exactly what the delivery
+// guarantees (idempotent submissions, content-addressed results,
+// resume-by-sequence) are supposed to absorb.
+type ChaosTransport struct {
+	// Base handles the requests that survive; nil selects
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Seed fixes the fault schedule.
+	Seed uint64
+	// PDrop, P500, PCut, PDelay are per-request fault probabilities in
+	// [0, 1]: fail before sending, synthesize a 500 without sending,
+	// truncate the response body partway, or sleep up to MaxDelay before
+	// forwarding. Drop/500/cut are mutually exclusive per request (drawn
+	// in that order); delay composes with a clean forward.
+	PDrop, P500, PCut, PDelay float64
+	// MaxDelay bounds injected latency; 0 selects 20ms.
+	MaxDelay time.Duration
+
+	mu                                    sync.Mutex
+	rng                                   *rand.Rand
+	dropped, errored, cut, delayed, clean int
+}
+
+// ChaosStats counts the faults a transport has injected so far —
+// assert on these to prove a test actually exercised the machinery.
+type ChaosStats struct {
+	Dropped, Errored, Cut, Delayed, Clean int
+}
+
+// Stats snapshots the injected-fault counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ChaosStats{Dropped: t.dropped, Errored: t.errored, Cut: t.cut, Delayed: t.delayed, Clean: t.clean}
+}
+
+// draw picks this request's fate under the seeded schedule.
+func (t *ChaosTransport) draw() (drop, err500, cut bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewPCG(t.Seed, t.Seed^0x9e3779b97f4a7c15))
+	}
+	switch f := t.rng.Float64(); {
+	case f < t.PDrop:
+		t.dropped++
+		return true, false, false, 0
+	case f < t.PDrop+t.P500:
+		t.errored++
+		return false, true, false, 0
+	case f < t.PDrop+t.P500+t.PCut:
+		t.cut++
+		return false, false, true, 0
+	}
+	if t.rng.Float64() < t.PDelay {
+		max := t.MaxDelay
+		if max <= 0 {
+			max = 20 * time.Millisecond
+		}
+		t.delayed++
+		return false, false, false, time.Duration(t.rng.Int64N(int64(max))) + 1
+	}
+	t.clean++
+	return false, false, false, 0
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, err500, cut, delay := t.draw()
+	if drop {
+		return nil, fmt.Errorf("chaos: connection dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	if err500 {
+		return &http.Response{
+			Status:     "500 chaos",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte("chaos: injected server error\n"))),
+			Request: req,
+		}, nil
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !cut || resp.Body == nil {
+		return resp, err
+	}
+	// Mid-body cut: pass some bytes through, then fail the read — a
+	// connection reset partway through an NDJSON stream.
+	resp.Body = &cutBody{rc: resp.Body, remaining: 1 + t.cutLen()}
+	return resp, nil
+}
+
+// cutLen draws how many bytes survive before the cut.
+func (t *ChaosTransport) cutLen() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Int64N(512)
+}
+
+// cutBody forwards remaining bytes, then fails with ErrUnexpectedEOF.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		b.rc.Close()
+		return 0, fmt.Errorf("chaos: connection cut mid-body: %w", io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

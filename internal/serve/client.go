@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,12 +22,60 @@ import (
 // holds (expired and reclaimed, or the point already completed).
 var ErrLeaseLost = errors.New("serve: lease lost")
 
+// RetryPolicy bounds the client's transparent retries of transport
+// errors and 5xx responses: up to Max consecutive failures, backing off
+// exponentially from Base to Cap with full jitter. The zero value
+// selects the defaults (8 attempts, 100ms..3s) — enough to ride out a
+// server restart, bounded enough that a server that never comes up
+// fails in seconds, not forever.
+type RetryPolicy struct {
+	Max  int
+	Base time.Duration
+	Cap  time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Max <= 0 {
+		rp.Max = 8
+	}
+	if rp.Base <= 0 {
+		rp.Base = 100 * time.Millisecond
+	}
+	if rp.Cap <= 0 {
+		rp.Cap = 3 * time.Second
+	}
+	return rp
+}
+
+// backoff returns the jittered delay before retry number attempt
+// (0-based): uniformly random in (0, min(Cap, Base<<attempt)], so
+// colliding clients spread out instead of retrying in lockstep.
+func (rp RetryPolicy) backoff(attempt int) time.Duration {
+	d := rp.Base
+	for i := 0; i < attempt && d < rp.Cap; i++ {
+		d *= 2
+	}
+	if d > rp.Cap {
+		d = rp.Cap
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
 // Client talks to a sweep server. The zero HTTP client is replaced by
 // http.DefaultClient; result streams and long-poll leases hold their
 // connection as long as the passed context allows.
 type Client struct {
 	base string
 	http *http.Client
+	// Timeout bounds each unary request end to end (long polls add
+	// their wait window on top), so a hung server fails the call instead
+	// of pinning it forever; 0 selects 30s.
+	Timeout time.Duration
+	// Retry bounds transparent retries of transport errors and 5xx
+	// responses; every request the client sends is idempotent on the
+	// server (submissions dedup by fingerprint, results are
+	// content-addressed), so retrying is always safe.
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the server at base, e.g.
@@ -35,32 +84,68 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
 }
 
-// do issues one JSON request and decodes the response into out (when
-// non-nil). A non-2xx status returns an error carrying the server's
-// message; 204 returns (false, nil) with out untouched.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) (bool, error) {
-	var body io.Reader
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+// do issues one JSON request — retrying transport errors and 5xx under
+// the client's RetryPolicy, each attempt under its own deadline — and
+// decodes the response into out (when non-nil). A non-2xx status
+// returns an error carrying the server's message; 204 returns
+// (false, nil) with out untouched. extraWait widens the per-attempt
+// deadline for long-polling requests.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, extraWait time.Duration) (bool, error) {
+	var body []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
 			return false, err
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	rp := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ok, retryable, err := c.doOnce(ctx, method, path, body, out, extraWait)
+		if err == nil {
+			return ok, nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil || attempt+1 >= rp.Max {
+			return false, lastErr
+		}
+		if !sleep(ctx, rp.backoff(attempt)) {
+			return false, lastErr
+		}
+	}
+}
+
+// doOnce is a single request attempt; retryable reports whether the
+// failure is worth another try (transport error or 5xx — never a 4xx,
+// which will fail identically every time).
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, extraWait time.Duration) (ok, retryable bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout()+extraWait)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return false, err
+		return false, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNoContent {
-		return false, nil
+		return false, false, nil
 	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -68,22 +153,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (bool
 		if resp.StatusCode == http.StatusNotFound && strings.Contains(string(msg), "lease") {
 			err = fmt.Errorf("%w: %s", ErrLeaseLost, strings.TrimSpace(string(msg)))
 		}
-		return false, err
+		return false, resp.StatusCode/100 == 5, err
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return false, fmt.Errorf("serve: decoding %s response: %w", path, err)
+			return false, true, fmt.Errorf("serve: decoding %s response: %w", path, err)
 		}
 	}
-	return true, nil
+	return true, false, nil
 }
 
 // Submit registers a sweep with the server and returns its ID and
 // point accounting. Identical points already stored or in flight are
-// not recomputed.
+// not recomputed — which is also what makes retried submissions safe.
 func (c *Client) Submit(ctx context.Context, sw *sweep.Sweep) (*SubmitResponse, error) {
 	var resp SubmitResponse
-	if _, err := c.do(ctx, http.MethodPost, "/sweeps", sw, &resp); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/sweeps", sw, &resp, 0); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -92,7 +177,7 @@ func (c *Client) Submit(ctx context.Context, sw *sweep.Sweep) (*SubmitResponse, 
 // Status reports a submitted sweep's progress.
 func (c *Client) Status(ctx context.Context, id string) (*SweepStatus, error) {
 	var st SweepStatus
-	if _, err := c.do(ctx, http.MethodGet, "/sweeps/"+id, nil, &st); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/sweeps/"+id, nil, &st, 0); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -101,52 +186,89 @@ func (c *Client) Status(ctx context.Context, id string) (*SweepStatus, error) {
 // Stats reports the server's counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var st Stats
-	if _, err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/stats", nil, &st, 0); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
 // Stream yields a submitted sweep's records in completion order,
-// blocking (server-side) until every point is done. A non-nil error
-// ends the iteration; a stream that the server closed before all
-// announced points arrived surfaces as a truncation error.
+// blocking (server-side) until every point is done. A cut connection —
+// network fault, server crash and restart — reconnects transparently
+// with ?after=<last sequence number> under the client's RetryPolicy, so
+// the caller sees each record exactly once with no duplicates and no
+// gaps; only a retry budget spent without progress (or a 4xx) surfaces
+// as a non-nil error ending the iteration.
 func (c *Client) Stream(ctx context.Context, id string) iter.Seq2[*sweep.Record, error] {
 	return func(yield func(*sweep.Record, error) bool) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/sweeps/"+id+"/results", nil)
-		if err != nil {
-			yield(nil, err)
-			return
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
-			yield(nil, err)
-			return
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-			yield(nil, fmt.Errorf("serve: streaming results: %s: %s", resp.Status, strings.TrimSpace(string(msg))))
-			return
-		}
-		total, _ := strconv.Atoi(resp.Header.Get("X-Tireplay-Points"))
-		dec := json.NewDecoder(resp.Body)
-		got := 0
+		rp := c.Retry.withDefaults()
+		after := int64(0)
+		failures := 0
 		for {
-			var rec sweep.Record
-			if err := dec.Decode(&rec); err == io.EOF {
-				if got < total {
-					yield(nil, fmt.Errorf("serve: result stream truncated: %d of %d records (server shut down?)", got, total))
+			progressed, done, retryable, err := c.streamOnce(ctx, id, &after, yield)
+			if done {
+				return
+			}
+			if progressed {
+				failures = 0
+			}
+			if ctx.Err() != nil {
+				yield(nil, ctx.Err())
+				return
+			}
+			failures++
+			if !retryable || failures >= rp.Max {
+				if err == nil {
+					err = fmt.Errorf("serve: result stream ended early (server shut down?)")
 				}
-				return
-			} else if err != nil {
-				yield(nil, fmt.Errorf("serve: decoding result stream: %w", err))
+				yield(nil, err)
 				return
 			}
-			got++
-			if !yield(&rec, nil) {
+			if !sleep(ctx, rp.backoff(failures-1)) {
+				yield(nil, ctx.Err())
 				return
 			}
+		}
+	}
+}
+
+// streamOnce holds one /results connection, yielding records past
+// *after and advancing it as they arrive. done means the stream is
+// finished — all records yielded, or the consumer broke out.
+func (c *Client) streamOnce(ctx context.Context, id string, after *int64, yield func(*sweep.Record, error) bool) (progressed, done, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/sweeps/"+id+"/results?after="+strconv.FormatInt(*after, 10), nil)
+	if err != nil {
+		return false, false, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, false, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("serve: streaming results: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return false, false, resp.StatusCode/100 == 5, err
+	}
+	total, _ := strconv.Atoi(resp.Header.Get("X-Tireplay-Points"))
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec sweep.Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			// A clean EOF short of the announced total is a server that
+			// shut down mid-stream: resume from *after.
+			return progressed, *after >= int64(total), true, nil
+		} else if err != nil {
+			return progressed, false, true, fmt.Errorf("serve: decoding result stream: %w", err)
+		}
+		if rec.Seq > 0 {
+			*after = rec.Seq
+		} else {
+			*after++ // pre-sequence server: count records instead
+		}
+		progressed = true
+		if !yield(&rec, nil) {
+			return progressed, true, false, nil
 		}
 	}
 }
@@ -167,7 +289,7 @@ func (c *Client) Collect(ctx context.Context, id string) ([]*sweep.Record, error
 // No work within the window returns (nil, nil).
 func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (*Lease, error) {
 	var l Lease
-	ok, err := c.do(ctx, http.MethodPost, "/lease", &LeaseRequest{Worker: worker, WaitMS: int(wait.Milliseconds())}, &l)
+	ok, err := c.do(ctx, http.MethodPost, "/lease", &LeaseRequest{Worker: worker, WaitMS: int(wait.Milliseconds())}, &l, wait)
 	if err != nil || !ok {
 		return nil, err
 	}
@@ -178,13 +300,13 @@ func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (
 // reclaimed it (the replay may still be posted — results are
 // idempotent).
 func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
-	_, err := c.do(ctx, http.MethodPost, "/lease/"+leaseID+"/heartbeat", struct{}{}, nil)
+	_, err := c.do(ctx, http.MethodPost, "/lease/"+leaseID+"/heartbeat", struct{}{}, nil, 0)
 	return err
 }
 
 // PushResult posts a completed point back to the server.
 func (c *Client) PushResult(ctx context.Context, res *WorkerResult) error {
-	_, err := c.do(ctx, http.MethodPost, "/results", res, nil)
+	_, err := c.do(ctx, http.MethodPost, "/results", res, nil, 0)
 	return err
 }
 
@@ -195,15 +317,20 @@ type WorkerOptions struct {
 	// Poll is the lease long-poll window and the retry backoff after a
 	// transport error; 0 selects 2s.
 	Poll time.Duration
+	// Client, when set, replaces the default client — e.g. one with a
+	// tuned RetryPolicy or a fault-injecting transport.
+	Client *Client
 	// Logf, when set, receives one line per lease/replay/retry.
 	Logf func(format string, args ...any)
 }
 
 // Work runs one worker loop against a sweep server: lease a point,
 // replay it locally (heartbeating the lease), post the record back,
-// repeat. Transport errors back off and retry — a worker started before
-// its server, or surviving a server restart, just keeps polling. Work
-// returns when ctx is cancelled.
+// repeat. A panicking replay is recovered into the point's error record
+// — one poisoned scenario costs one point, not the process. Transport
+// errors back off and retry — a worker started before its server, or
+// surviving a server restart, just keeps polling. Work returns when ctx
+// is cancelled.
 func Work(ctx context.Context, server string, opts WorkerOptions) error {
 	if opts.Poll <= 0 {
 		opts.Poll = 2 * time.Second
@@ -212,7 +339,10 @@ func Work(ctx context.Context, server string, opts WorkerOptions) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	c := NewClient(server)
+	c := opts.Client
+	if c == nil {
+		c = NewClient(server)
+	}
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -229,7 +359,7 @@ func Work(ctx context.Context, server string, opts WorkerOptions) error {
 		if l == nil {
 			continue // long poll expired with no work
 		}
-		logf("work: leased %s", l.Fingerprint)
+		logf("work: leased %s (attempt %d)", l.Fingerprint, l.Attempt)
 		res := runLease(ctx, c, l)
 		for attempt := 0; ; attempt++ {
 			err := c.PushResult(ctx, res)
@@ -246,7 +376,9 @@ func Work(ctx context.Context, server string, opts WorkerOptions) error {
 	}
 }
 
-// runLease replays a leased scenario, heartbeating until done.
+// runLease replays a leased scenario, heartbeating until done. Panics in
+// the replay are recovered into the result's error so the worker
+// survives to lease again.
 func runLease(ctx context.Context, c *Client, l *Lease) *WorkerResult {
 	res := &WorkerResult{Lease: l.ID, Fingerprint: l.Fingerprint}
 
@@ -282,7 +414,7 @@ func runLease(ctx context.Context, c *Client, l *Lease) *WorkerResult {
 		}
 	}()
 
-	replay, err := sc.Run(ctx)
+	replay, err := safeRun(ctx, &sc)
 	stopHeartbeat()
 	if err != nil {
 		res.Err = err.Error()
@@ -292,11 +424,15 @@ func runLease(ctx context.Context, c *Client, l *Lease) *WorkerResult {
 	return res
 }
 
-func sleep(ctx context.Context, d time.Duration) {
+// sleep waits d or until ctx ends, reporting whether it slept the full
+// duration.
+func sleep(ctx context.Context, d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		return false
 	case <-t.C:
+		return true
 	}
 }

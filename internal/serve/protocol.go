@@ -14,11 +14,21 @@
 // are heartbeat-extended; a worker that dies has its point returned to
 // the queue, so a grid always drains as long as one worker survives.
 //
+// The service is built to survive any single failure. A durable journal
+// next to the store records submissions and per-point completion markers
+// (CRC'd, torn-tail tolerant), so a restarted server re-registers every
+// open sweep under the same ID, with the same record sequence, and
+// requeues only the points without a stored result. Result records carry
+// monotonic per-sweep sequence numbers and streams resume with ?after=N;
+// failing points consume a per-point retry budget and then complete as a
+// permanent-failure record instead of requeueing forever.
+//
 // Endpoints:
 //
 //	POST /sweeps                    submit a sweep spec (strict JSON) → SubmitResponse
 //	GET  /sweeps/{id}               sweep progress → SweepStatus
-//	GET  /sweeps/{id}/results       NDJSON stream of sweep.Record, completion order
+//	GET  /sweeps/{id}/results       NDJSON stream of sweep.Record, completion order;
+//	                                ?after=N resumes past sequence number N
 //	POST /lease                     lease one point (long-poll) → Lease, or 204
 //	POST /lease/{id}/heartbeat      extend a lease's TTL
 //	POST /results                   post a completed point → 204
@@ -75,6 +85,9 @@ type Lease struct {
 	ID string `json:"id"`
 	// Fingerprint is the point's scenario fingerprint.
 	Fingerprint string `json:"fingerprint"`
+	// Attempt is this lease's position in the point's retry budget
+	// (1-based): how many times the point has now been handed out.
+	Attempt int `json:"attempt,omitempty"`
 	// TTLMS is the lease's time-to-live; heartbeat within it or the point
 	// returns to the queue.
 	TTLMS int64 `json:"ttl_ms"`
@@ -116,6 +129,18 @@ type Stats struct {
 	Merged int `json:"merged"`
 	// ExpiredLeases counts leases reclaimed by the TTL janitor.
 	ExpiredLeases int `json:"expired_leases"`
+	// Attempts counts leases granted, over all points: Attempts minus
+	// Replayed minus Failed is the work lost to retries so far.
+	Attempts int `json:"attempts"`
+	// Retried counts failed or expired executions that were requeued
+	// because the point still had retry budget.
+	Retried int `json:"retried"`
+	// Quarantined counts points that exhausted their retry budget and
+	// completed as a permanent-failure record (a subset of Failed).
+	Quarantined int `json:"quarantined"`
+	// RecoveredSweeps counts open sweeps re-registered from the journal
+	// at startup.
+	RecoveredSweeps int `json:"recovered_sweeps"`
 	// Queued and Leased are current queue depths.
 	Queued int `json:"queued"`
 	Leased int `json:"leased"`

@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tireplay/internal/core"
+	"tireplay/internal/scenario"
+	"tireplay/internal/sweep"
+)
+
+// restartable runs a Server behind a plain TCP listener whose address a
+// later incarnation can re-bind — the restart tests need the "same
+// server" to come back where the client expects it.
+type restartable struct {
+	s    *Server
+	hs   *http.Server
+	addr string
+}
+
+func startServerAt(t *testing.T, addr string, cfg Config) *restartable {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			s.Close()
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // returns on Close
+	return &restartable{s: s, hs: hs, addr: ln.Addr().String()}
+}
+
+// kill drops the listener (cutting every open connection) and stops the
+// server. The journal and store stay on disk for the next incarnation.
+func (r *restartable) kill() {
+	r.hs.Close()
+	r.s.Close()
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{Max: 40, Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond}
+}
+
+// TestKillRestartMidSweep is the crash-safety end-to-end: a sweep is
+// half-drained, the server process dies mid-stream, a new server over
+// the same store+journal re-registers the sweep under the same ID and
+// requeues only the unfinished points, and the client's open Stream
+// resumes transparently — final record set bit-identical to an
+// uninterrupted sweep.Collect, each sequence number delivered exactly
+// once.
+func TestKillRestartMidSweep(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	sw := luSweep("kill-restart", 1, 2) // 4 points
+	base := localBaseline(t, sw)
+
+	srv1 := startServerAt(t, "127.0.0.1:0", Config{Store: dir, Workers: -1, LeaseTTL: time.Second})
+	c := NewClient("http://" + srv1.addr)
+	c.Retry = fastRetry()
+	sub, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream in the background, observing progress.
+	var mu sync.Mutex
+	var got []*sweep.Record
+	streamDone := make(chan error, 1)
+	go func() {
+		for rec, err := range c.Stream(ctx, sub.ID) {
+			if err != nil {
+				streamDone <- err
+				return
+			}
+			mu.Lock()
+			got = append(got, rec)
+			mu.Unlock()
+		}
+		streamDone <- nil
+	}()
+
+	// Hand-drain two points (no workers are running), then wait until the
+	// stream has seen them.
+	for i := 0; i < 2; i++ {
+		l, err := c.Lease(ctx, "manual", 2*time.Second)
+		if err != nil || l == nil {
+			t.Fatalf("lease %d: %v %v", i, l, err)
+		}
+		res := runLease(ctx, c, l)
+		if res.Err != "" {
+			t.Fatalf("manual replay failed: %s", res.Err)
+		}
+		if err := c.PushResult(ctx, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "stream to see the pre-crash records", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 2
+	})
+
+	// Kill the server mid-stream, then bring a new one up at the same
+	// address over the same store and journal, this time with embedded
+	// workers to finish the job.
+	srv1.kill()
+	srv2 := startServerAt(t, srv1.addr, Config{Store: dir, Workers: 2, LeaseTTL: time.Second})
+	defer srv2.kill()
+
+	if st := srv2.s.Stats(); st.RecoveredSweeps != 1 {
+		t.Fatalf("restarted server recovered %d sweeps, want 1 (stats %+v)", st.RecoveredSweeps, st)
+	}
+
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("stream across restart: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never finished after the restart")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	checkRecords(t, got, base, 4)
+	for i, rec := range got {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d has seq %d, want %d (duplicate or gap across restart)", i, rec.Seq, i+1)
+		}
+	}
+	// Only the two unfinished points replayed on the new server.
+	if st := srv2.s.Stats(); st.Replayed != 2 {
+		t.Errorf("restarted server replayed %d points, want 2 (stats %+v)", st.Replayed, st)
+	}
+}
+
+// TestStreamSequenceAndAfter: records carry 1-based sequence numbers and
+// ?after=N resumes past them; a nonsense offset is a 400.
+func TestStreamSequenceAndAfter(t *testing.T) {
+	ctx := context.Background()
+	sw := luSweep("seq", 1, 2) // 4 points
+	_, ts := newTestServer(t, Config{Workers: 2})
+	c := NewClient(ts.URL)
+	sub, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Collect(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+
+	// Raw resume from the middle: exactly the records past seq 2, in order.
+	resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID + "/results?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tail []*sweep.Record
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var rec sweep.Record
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, &rec)
+	}
+	if len(tail) != 2 || tail[0].Seq != 3 || tail[1].Seq != 4 {
+		t.Fatalf("after=2 returned %d records (%+v), want seqs 3,4", len(tail), tail)
+	}
+	for i, rec := range tail {
+		if rec.Fingerprint != recs[i+2].Fingerprint {
+			t.Errorf("after=2 record %d is %s, want %s", i, rec.Fingerprint, recs[i+2].Fingerprint)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID + "/results?after=99"); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("after=99 got status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestChaosStream: a client whose every request runs through a seeded
+// fault-injecting transport (drops, 500s, mid-body cuts, delays) still
+// converges to the clean-run baseline — same records, each sequence
+// number exactly once — because submissions are idempotent and streams
+// resume by sequence.
+func TestChaosStream(t *testing.T) {
+	ctx := context.Background()
+	sw := luSweep("chaos", 1, 2, 3) // 6 points
+	base := localBaseline(t, sw)
+
+	s, ts := newTestServer(t, Config{Workers: 2})
+	// Seed 1's schedule opens with a dropped submit and cuts/500s across
+	// the early stream attempts — every fault kind fires (the schedule is
+	// deterministic, so this is a property of the seed, not luck).
+	chaos := &ChaosTransport{
+		Seed:  1,
+		PDrop: 0.25, P500: 0.15, PCut: 0.20, PDelay: 0.3,
+		MaxDelay: 4 * time.Millisecond,
+	}
+	c := NewClient(ts.URL)
+	c.http = &http.Client{Transport: chaos}
+	c.Retry = RetryPolicy{Max: 30, Base: 2 * time.Millisecond, Cap: 40 * time.Millisecond}
+
+	sub, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatalf("submit through chaos: %v", err)
+	}
+	recs, err := c.Collect(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("stream through chaos: %v", err)
+	}
+	checkRecords(t, recs, base, 6)
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d has seq %d, want %d (chaos duplicated or dropped a record)", i, rec.Seq, i+1)
+		}
+	}
+	if st := chaos.Stats(); st.Dropped+st.Errored+st.Cut == 0 {
+		t.Errorf("chaos transport injected no faults (%+v); the schedule is too tame to prove anything", st)
+	} else {
+		t.Logf("chaos: %+v", st)
+	}
+	if st := s.Stats(); st.Replayed != 6 {
+		t.Errorf("server replayed %d points, want 6 (chaos caused recomputation?)", st.Replayed)
+	}
+}
+
+// TestChaosWorkers: external workers whose transport drops leases,
+// heartbeats, and result posts still drain the grid to the clean
+// baseline — lost leases expire back to the queue (at-least-once),
+// posted results dedup by fingerprint (exactly-once), and nothing is
+// quarantined because the retry budget absorbs the flakiness.
+func TestChaosWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := luSweep("chaos-workers", 1, 2) // 4 points
+	base := localBaseline(t, sw)
+
+	s, ts := newTestServer(t, Config{Workers: -1, LeaseTTL: 150 * time.Millisecond, MaxAttempts: 25})
+
+	var workers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		chaos := &ChaosTransport{
+			Seed:  uint64(1000 + i),
+			PDrop: 0.10, P500: 0.05, PCut: 0.05, PDelay: 0.2,
+			MaxDelay: 3 * time.Millisecond,
+		}
+		wc := NewClient(ts.URL)
+		wc.http = &http.Client{Transport: chaos}
+		wc.Retry = RetryPolicy{Max: 10, Base: 2 * time.Millisecond, Cap: 30 * time.Millisecond}
+		wc.Timeout = 5 * time.Second
+		workers.Add(1)
+		go func(i int) {
+			defer workers.Done()
+			Work(ctx, ts.URL, WorkerOptions{Name: fmt.Sprintf("chaotic-%d", i),
+				Poll: 30 * time.Millisecond, Client: wc, Logf: t.Logf})
+		}(i)
+	}
+	defer workers.Wait()
+	defer cancel()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	sub, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Collect(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, recs, base, 4)
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Errorf("%d points quarantined under worker chaos (stats %+v)", st.Quarantined, st)
+	}
+}
+
+// poisonedSweep is a single-point sweep whose replay fails
+// deterministically (the trace description does not exist).
+func poisonedSweep(t *testing.T) *sweep.Sweep {
+	return &sweep.Sweep{
+		Name: "poison",
+		Base: scenario.Scenario{
+			Platform:  flatSpec(2),
+			TraceDesc: filepath.Join(t.TempDir(), "missing.desc"),
+		},
+	}
+}
+
+// TestQuarantinePoisonedPoint: a point that fails every attempt stops
+// after the retry budget and surfaces as exactly one permanent-failure
+// record — not an unbounded requeue loop.
+func TestQuarantinePoisonedPoint(t *testing.T) {
+	ctx := context.Background()
+	s, ts := newTestServer(t, Config{Workers: 1, MaxAttempts: 2})
+	c := NewClient(ts.URL)
+	sub, err := c.Submit(ctx, poisonedSweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Collect(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("poisoned sweep produced %d records, want exactly 1", len(recs))
+	}
+	if !strings.Contains(recs[0].Err, "quarantined after 2 attempts") {
+		t.Fatalf("poisoned record error = %q, want a quarantine after 2 attempts", recs[0].Err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Failed != 1 || st.Retried != 1 || st.Attempts != 2 {
+		t.Errorf("stats = %+v, want 2 attempts, 1 retried, 1 quarantined, 1 failed", st)
+	}
+	status, err := c.Status(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Done != 1 || status.Failed != 1 {
+		t.Errorf("status = %+v, want 1 done, 1 failed", status)
+	}
+}
+
+// TestPanicRecovered: a panicking replay is recovered into the point's
+// error record — both in the embedded pool (the server survives) and in
+// the worker-side runLease (the worker survives).
+func TestPanicRecovered(t *testing.T) {
+	old := replayFunc
+	replayFunc = func(ctx context.Context, sc *scenario.Scenario) (*core.Result, error) {
+		panic("kaboom")
+	}
+	defer func() { replayFunc = old }()
+
+	ctx := context.Background()
+	sw := luSweep("panic", 1)
+	s, ts := newTestServer(t, Config{Workers: 1, MaxAttempts: 2})
+	c := NewClient(ts.URL)
+	sub, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Collect(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if !strings.Contains(rec.Err, "replay panicked: kaboom") {
+			t.Fatalf("record error = %q, want the recovered panic", rec.Err)
+		}
+	}
+	// The embedded pool survived the panics: the server still answers.
+	if st := s.Stats(); st.Quarantined != 2 {
+		t.Errorf("stats = %+v, want both points quarantined", st)
+	}
+
+	// Worker side: runLease recovers the panic into the posted result.
+	// This server has no embedded pool, so the manual lease wins the point.
+	_, ts2 := newTestServer(t, Config{Workers: -1, MaxAttempts: 2})
+	c = NewClient(ts2.URL)
+	if _, err := c.Submit(ctx, luSweep("panic-worker", 2)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Lease(ctx, "w", 2*time.Second)
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v %v", l, err)
+	}
+	res := runLease(ctx, c, l)
+	if !strings.Contains(res.Err, "replay panicked: kaboom") {
+		t.Fatalf("worker result error = %q, want the recovered panic", res.Err)
+	}
+	if err := c.PushResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrains: a draining server grants no new leases but lets
+// the in-flight one post its result before closing.
+func TestShutdownDrains(t *testing.T) {
+	ctx := context.Background()
+	sw := luSweep("drain", 1)
+	s, ts := newTestServer(t, Config{Workers: -1, LeaseTTL: 10 * time.Second})
+	c := NewClient(ts.URL)
+	if _, err := c.Submit(ctx, sw); err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Lease(ctx, "survivor", 2*time.Second)
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v %v", l, err)
+	}
+	res := runLease(ctx, c, l)
+	if res.Err != "" {
+		t.Fatalf("replay: %s", res.Err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(sctx) }()
+	waitFor(t, 5*time.Second, "drain to start", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.draining
+	})
+
+	// No new leases while draining.
+	if l2, err := c.Lease(ctx, "late", 100*time.Millisecond); err != nil || l2 != nil {
+		t.Fatalf("lease while draining = %v, %v; want none", l2, err)
+	}
+	// The in-flight lease still posts, and the drain completes.
+	if err := c.PushResult(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never finished after the lease drained")
+	}
+	if st := s.Stats(); st.Replayed != 1 {
+		t.Errorf("stats = %+v, want the drained point completed", st)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

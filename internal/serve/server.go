@@ -1,17 +1,21 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
+	"tireplay/internal/core"
 	"tireplay/internal/scenario"
 	"tireplay/internal/sweep"
 )
@@ -20,7 +24,8 @@ import (
 type Config struct {
 	// Store is the shared result-store directory (required): every
 	// completed point persists there, and submissions are answered from
-	// it across server restarts.
+	// it across server restarts. The sweep journal lives inside it
+	// (journal.wal), so store + journal travel as one unit.
 	Store string
 	// Workers sizes the embedded worker pool: 0 selects GOMAXPROCS,
 	// negative disables embedded execution (external workers only).
@@ -28,8 +33,17 @@ type Config struct {
 	// LeaseTTL is how long a leased point may go without a heartbeat
 	// before it returns to the queue; 0 selects 30s.
 	LeaseTTL time.Duration
+	// MaxAttempts is the per-point retry budget: a point whose replay
+	// has failed (or whose lease has expired) this many times completes
+	// as a permanent-failure record instead of requeueing forever.
+	// 0 selects 3.
+	MaxAttempts int
+	// Drain is how long a terminating Serve waits for in-flight leases
+	// to post their results before closing (Shutdown callers pass their
+	// own deadline); 0 selects 10s.
+	Drain time.Duration
 	// Logf, when set, receives one line per notable server event
-	// (submissions, expired leases, store failures).
+	// (submissions, expired leases, retries, store failures).
 	Logf func(format string, args ...any)
 }
 
@@ -48,6 +62,12 @@ type point struct {
 	scenario     *scenario.Scenario
 	scenarioJSON json.RawMessage
 	state        int
+	// attempts counts leases granted for this point; when it reaches the
+	// retry budget the next failure (or expiry) quarantines the point.
+	attempts int
+	// lastErr remembers the most recent failure, for the quarantine
+	// record when the budget runs out.
+	lastErr string
 	// record is the canonical result (fingerprint, replay, error), set
 	// once state is pDone. Per-sweep metadata is applied at emission.
 	record  *sweep.Record
@@ -60,7 +80,8 @@ type point struct {
 }
 
 // sweepRun is one submitted sweep: its expanded grid plus the completion
-// order its result streams replay.
+// order its result streams replay. order's i-th entry is the record with
+// sequence number i+1 — the durable contract resumable streams rely on.
 type sweepRun struct {
 	id     string
 	name   string
@@ -68,7 +89,12 @@ type sweepRun struct {
 	// fpIndex maps a fingerprint to the grid indices it satisfies (two
 	// points of one grid can share a fingerprint, e.g. label-only axes).
 	fpIndex map[string][]int
-	// cached marks grid indices served from the store at submit time.
+	// emitted marks grid indices already appended to order (and
+	// journaled), so crash recovery and duplicate completions are
+	// idempotent per index.
+	emitted []bool
+	// cached marks grid indices served from the store rather than
+	// replayed for this sweep.
 	cached []bool
 	// order is the completion order of grid indices; streams index into
 	// it and wait on notify for growth.
@@ -77,47 +103,60 @@ type sweepRun struct {
 	notify chan struct{}
 }
 
-func (r *sweepRun) completeLocked(fp string, failed bool) {
-	for _, idx := range r.fpIndex[fp] {
-		r.order = append(r.order, idx)
-		if failed {
-			r.failed++
-		}
+func newRun(id, name string, points []sweep.Point) *sweepRun {
+	run := &sweepRun{
+		id:      id,
+		name:    name,
+		points:  points,
+		fpIndex: make(map[string][]int),
+		emitted: make([]bool, len(points)),
+		cached:  make([]bool, len(points)),
+		notify:  make(chan struct{}),
 	}
-	close(r.notify)
-	r.notify = make(chan struct{})
+	for _, pt := range points {
+		run.fpIndex[pt.Fingerprint] = append(run.fpIndex[pt.Fingerprint], pt.Index)
+	}
+	return run
 }
 
-// Server is the sweep service: shared store, singleflight dedup,
-// work-stealing queue, lease janitor, and (optionally) embedded workers.
-// Create with New, expose via Handler, stop with Close.
+// Server is the sweep service: shared store, durable journal,
+// singleflight dedup, work-stealing queue with retry budgets, lease
+// janitor, and (optionally) embedded workers. Create with New, expose
+// via Handler, drain with Shutdown or stop hard with Close.
 type Server struct {
-	cfg   Config
-	store *sweep.Store
-	mux   *http.ServeMux
+	cfg     Config
+	store   *sweep.Store
+	journal *journal
+	mux     *http.ServeMux
 
-	mu      sync.Mutex
-	queue   []*point
-	qnotify chan struct{} // closed+replaced when the queue grows
-	points  map[string]*point
-	sweeps  map[string]*sweepRun
-	leases  map[string]*point
-	stats   Stats
-	closed  bool
+	mu       sync.Mutex
+	queue    []*point
+	qnotify  chan struct{} // closed+replaced when the queue grows
+	points   map[string]*point
+	sweeps   map[string]*sweepRun
+	leases   map[string]*point
+	stats    Stats
+	draining bool
+	closed   bool
 
+	drainCh chan struct{} // closed when draining starts
 	closing chan struct{}
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 }
 
-// New builds a Server over the configured store and starts its embedded
-// workers and lease janitor.
+// New builds a Server over the configured store, recovers open sweeps
+// from the journal found next to it, and starts its embedded workers and
+// lease janitor.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == "" {
 		return nil, fmt.Errorf("serve: Config.Store is required")
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
 	}
 	st, err := sweep.OpenStore(cfg.Store)
 	if err != nil {
@@ -135,9 +174,18 @@ func New(cfg Config) (*Server, error) {
 		points:  make(map[string]*point),
 		sweeps:  make(map[string]*sweepRun),
 		leases:  make(map[string]*point),
+		drainCh: make(chan struct{}),
 		closing: make(chan struct{}),
 	}
 	s.stats.StoreWarm = warm
+
+	jr, entries, err := openJournal(filepath.Join(cfg.Store, "journal.wal"))
+	if err != nil {
+		return nil, err
+	}
+	s.journal = jr
+	s.recover(entries)
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -185,9 +233,11 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close stops the embedded workers and janitor and ends every open
-// result stream. In-flight external leases are abandoned (their posts
-// will fail); the store keeps everything already completed.
+// Close stops the embedded workers and janitor, ends every open result
+// stream, and closes the journal. In-flight external leases are
+// abandoned (their posts will fail); the store and journal keep
+// everything already completed — a fresh New over the same store picks
+// the open sweeps back up.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -199,7 +249,39 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
-	return nil
+	return s.journal.Close()
+}
+
+// Shutdown drains the server gracefully: no new leases are granted
+// (long-polls answer 204, embedded workers finish their current replay
+// and exit), in-flight leases get until ctx's deadline to post their
+// results, then the server closes. The journal is flushed on every
+// append, so even a deadline overrun loses no completed record.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		s.mu.Lock()
+		inflight := len(s.leases)
+		s.mu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			s.logf("serve: drain deadline passed with %d leases in flight (their points requeue on restart)", inflight)
+			return s.Close()
+		case <-t.C:
+		}
+	}
+	return s.Close()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -216,104 +298,264 @@ func newID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// register adds a sweep's expanded points to the dedup table and queue,
-// answering from the store where possible. Called with s.mu NOT held.
-func (s *Server) register(sw *sweep.Sweep, points []sweep.Point) (*sweepRun, SubmitResponse) {
-	run := &sweepRun{
-		id:      newID(),
-		name:    sw.Name,
-		points:  points,
-		fpIndex: make(map[string][]int),
-		cached:  make([]bool, len(points)),
-		notify:  make(chan struct{}),
+// emitLocked appends every not-yet-emitted grid index of fp to the run's
+// completion order, journaling one marker per index before the stream
+// wakeup — a record a client can observe is always reconstructible after
+// a crash, with the same sequence number.
+func (s *Server) emitLocked(run *sweepRun, fp string, rec *sweep.Record, cached bool) {
+	grew := false
+	for _, idx := range run.fpIndex[fp] {
+		if run.emitted[idx] {
+			continue
+		}
+		if s.journal != nil {
+			if err := s.journal.append(&journalEntry{
+				Kind: journalKindMark, Sweep: run.id, Index: idx, Err: rec.Err, Cached: cached,
+			}); err != nil {
+				s.logf("serve: journal: %v", err)
+			}
+		}
+		run.emitted[idx] = true
+		run.cached[idx] = cached
+		run.order = append(run.order, idx)
+		if rec.Err != "" {
+			run.failed++
+		}
+		grew = true
 	}
+	if grew {
+		close(run.notify)
+		run.notify = make(chan struct{})
+	}
+}
+
+// resolveLocked binds run to one grid point's fingerprint: emit
+// immediately when the result is already known (dedup table or store),
+// queue a fresh point, or subscribe the run to the in-flight one.
+// Returns whether the queue grew; resp, when non-nil, receives
+// submission accounting.
+func (s *Server) resolveLocked(run *sweepRun, pt sweep.Point, resp *SubmitResponse) (grew bool) {
+	fp := pt.Fingerprint
+	p := s.points[fp]
+	if p == nil {
+		// First time this server sees the scenario: store, then queue.
+		rec, err := s.store.Get(fp)
+		if err == nil && rec != nil && rec.Replay != nil {
+			p = &point{fp: fp, state: pDone,
+				record: &sweep.Record{Fingerprint: fp, Replay: rec.Replay}}
+			s.points[fp] = p
+		} else {
+			if err != nil {
+				// A corrupt stored record is not fatal: re-replay it.
+				s.logf("serve: store: %v (re-replaying)", err)
+			}
+			scJSON, merr := json.Marshal(pt.Scenario)
+			if merr != nil {
+				// Cannot happen for a sweep-expanded scenario; fail the
+				// point rather than the submission.
+				p = &point{fp: fp, state: pDone,
+					record: &sweep.Record{Fingerprint: fp, Err: merr.Error()}}
+				s.points[fp] = p
+			} else {
+				p = &point{fp: fp, scenario: pt.Scenario, scenarioJSON: scJSON, state: pQueued}
+				s.points[fp] = p
+				s.queue = append(s.queue, p)
+				grew = true
+			}
+		}
+	} else if p.state != pDone {
+		s.stats.Merged++
+		if resp != nil {
+			resp.Merged++
+		}
+	}
+	if p.state == pDone {
+		fromStore := p.record.Err == "" // errors are never store hits
+		hits := 0
+		for _, idx := range run.fpIndex[fp] {
+			if !run.emitted[idx] {
+				hits++
+			}
+		}
+		s.emitLocked(run, fp, p.record, fromStore)
+		if fromStore {
+			s.stats.CacheHits += hits
+			if resp != nil {
+				resp.Cached += hits
+			}
+		}
+	} else {
+		p.subs = append(p.subs, run)
+		if resp != nil {
+			resp.Pending += len(run.fpIndex[fp])
+		}
+	}
+	return grew
+}
+
+// register journals and adds a sweep's expanded points to the dedup
+// table and queue, answering from the store where possible.
+func (s *Server) register(sw *sweep.Sweep, points []sweep.Point) (*sweepRun, SubmitResponse, error) {
+	run := newRun(newID(), sw.Name, points)
 	var resp SubmitResponse
 	resp.ID = run.id
 	resp.Points = len(points)
 
+	spec, err := json.Marshal(sw)
+	if err != nil {
+		return nil, resp, fmt.Errorf("serve: encoding sweep spec: %w", err)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, pt := range points {
-		run.fpIndex[pt.Fingerprint] = append(run.fpIndex[pt.Fingerprint], pt.Index)
+	// Journal the submission before anything becomes observable: a crash
+	// from here on re-registers the sweep under the same ID.
+	if err := s.journal.append(&journalEntry{Kind: journalKindSweep, ID: run.id, Name: sw.Name, Spec: spec}); err != nil {
+		return nil, resp, err
 	}
+	s.sweeps[run.id] = run
 	grew := false
+	seen := make(map[string]bool, len(points))
 	for _, pt := range points {
-		if len(run.fpIndex[pt.Fingerprint]) > 0 && run.fpIndex[pt.Fingerprint][0] != pt.Index {
-			continue // later duplicate of a fingerprint this sweep already handled
+		if seen[pt.Fingerprint] {
+			continue
 		}
-		p := s.points[pt.Fingerprint]
-		if p == nil {
-			// First time this server sees the scenario: store, then queue.
-			rec, err := s.store.Get(pt.Fingerprint)
-			if err == nil && rec != nil && rec.Replay != nil {
-				p = &point{fp: pt.Fingerprint, state: pDone,
-					record: &sweep.Record{Fingerprint: pt.Fingerprint, Replay: rec.Replay}}
-				s.points[pt.Fingerprint] = p
-			} else {
-				if err != nil {
-					// A corrupt stored record is not fatal: re-replay it.
-					s.logf("serve: store: %v (re-replaying)", err)
-				}
-				scJSON, merr := json.Marshal(pt.Scenario)
-				if merr != nil {
-					// Cannot happen for a sweep-expanded scenario; fail the
-					// point rather than the submission.
-					p = &point{fp: pt.Fingerprint, state: pDone,
-						record: &sweep.Record{Fingerprint: pt.Fingerprint, Err: merr.Error()}}
-					s.points[pt.Fingerprint] = p
-				} else {
-					p = &point{fp: pt.Fingerprint, scenario: pt.Scenario, scenarioJSON: scJSON, state: pQueued}
-					s.points[pt.Fingerprint] = p
-					s.queue = append(s.queue, p)
-					grew = true
-				}
-			}
-		} else if p.state != pDone {
-			s.stats.Merged++
-			resp.Merged++
-		}
-		if p.state == pDone {
-			fromStore := p.record.Err == "" // errors are never store hits
-			for _, idx := range run.fpIndex[pt.Fingerprint] {
-				run.order = append(run.order, idx)
-				if p.record.Err != "" {
-					run.failed++
-				}
-				run.cached[idx] = fromStore
-				if fromStore {
-					s.stats.CacheHits++
-					resp.Cached++
-				}
-			}
-		} else {
-			p.subs = append(p.subs, run)
-			resp.Pending += len(run.fpIndex[pt.Fingerprint])
+		seen[pt.Fingerprint] = true
+		if s.resolveLocked(run, pt, &resp) {
+			grew = true
 		}
 	}
 	if grew {
 		close(s.qnotify)
 		s.qnotify = make(chan struct{})
 	}
-	s.sweeps[run.id] = run
-	return run, resp
+	return run, resp, nil
 }
 
-// complete finalizes one point: persist (successes only — failures stay
-// in memory so the service can retry them after a restart), then mark
-// done and wake every subscribed sweep. Idempotent: late or duplicate
-// results for an already-done point change nothing.
-func (s *Server) complete(p *point, replay *sweep.Record) error {
-	canon := &sweep.Record{Fingerprint: p.fp, Replay: replay.Replay, Err: replay.Err}
-	if canon.Err == "" && canon.Replay != nil {
-		if err := s.store.Put(canon); err != nil {
-			s.logf("serve: persisting %s: %v", p.fp, err)
-			return err
-		}
+// recover rebuilds open sweeps from journal entries: re-expand each
+// journaled spec (expansion is deterministic, the paper's premise made
+// infrastructure), replay its completion markers into the same order —
+// so every sequence number a client saw before the crash denotes the
+// same record — then answer still-unmarked points from the store and
+// queue the rest. Called from New before any handler can run; takes the
+// lock anyway so emitLocked's invariants hold.
+func (s *Server) recover(entries []journalEntry) {
+	if len(entries) == 0 {
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	recCache := make(map[string]*sweep.Record)
+	var recovered []*sweepRun
+	for i := range entries {
+		e := &entries[i]
+		switch e.Kind {
+		case journalKindSweep:
+			sw, err := sweep.ReadSpec(bytes.NewReader(e.Spec))
+			if err != nil {
+				s.logf("serve: journal: sweep %s spec: %v (dropping)", e.ID, err)
+				continue
+			}
+			points, err := sw.Expand()
+			if err != nil {
+				s.logf("serve: journal: sweep %s expand: %v (dropping)", e.ID, err)
+				continue
+			}
+			run := newRun(e.ID, sw.Name, points)
+			s.sweeps[run.id] = run
+			recovered = append(recovered, run)
+			s.stats.RecoveredSweeps++
+		case journalKindMark:
+			run := s.sweeps[e.Sweep]
+			if run == nil || e.Index < 0 || e.Index >= len(run.points) || run.emitted[e.Index] {
+				continue
+			}
+			fp := run.points[e.Index].Fingerprint
+			p := s.points[fp]
+			if p == nil {
+				p = &point{fp: fp}
+				s.points[fp] = p
+			}
+			if p.state != pDone {
+				p.state = pDone
+				p.record = s.recoveredRecord(fp, e.Err, recCache)
+			}
+			run.emitted[e.Index] = true
+			run.cached[e.Index] = e.Cached
+			run.order = append(run.order, e.Index)
+			if e.Err != "" {
+				run.failed++
+			}
+		default:
+			s.logf("serve: journal: unknown entry kind %q (skipping)", e.Kind)
+		}
+	}
+	// Second pass: points the journal never marked either completed
+	// without their marker surviving (answer from the store, journaling a
+	// fresh marker) or were still open (requeue them).
+	grew := false
+	for _, run := range recovered {
+		seen := make(map[string]bool, len(run.points))
+		for _, pt := range run.points {
+			if seen[pt.Fingerprint] {
+				continue
+			}
+			seen[pt.Fingerprint] = true
+			all := true
+			for _, idx := range run.fpIndex[pt.Fingerprint] {
+				if !run.emitted[idx] {
+					all = false
+					break
+				}
+			}
+			if all {
+				continue
+			}
+			if s.resolveLocked(run, pt, nil) {
+				grew = true
+			}
+		}
+	}
+	if grew {
+		close(s.qnotify)
+		s.qnotify = make(chan struct{})
+	}
+	for _, run := range recovered {
+		s.logf("serve: recovered sweep %s (%s): %d/%d points done, %d requeued",
+			run.id, run.name, len(run.order), len(run.points), len(s.queue))
+	}
+}
+
+// recoveredRecord rebuilds the canonical record behind a journaled
+// completion marker: failures carry their message in the marker itself,
+// successes were persisted to the store before the marker was written.
+func (s *Server) recoveredRecord(fp, errMsg string, cache map[string]*sweep.Record) *sweep.Record {
+	if errMsg != "" {
+		return &sweep.Record{Fingerprint: fp, Err: errMsg}
+	}
+	if rec, ok := cache[fp]; ok {
+		return rec
+	}
+	stored, err := s.store.Get(fp)
+	rec := &sweep.Record{Fingerprint: fp}
+	if err != nil || stored == nil || stored.Replay == nil {
+		// Persist-before-announce means this needs the store and the
+		// journal to fail independently; surface it rather than guess.
+		s.logf("serve: journal marks %s done but the store has no result (%v)", fp, err)
+		rec.Err = fmt.Sprintf("stored result for %s lost after restart", fp)
+	} else {
+		rec.Replay = stored.Replay
+	}
+	cache[fp] = rec
+	return rec
+}
+
+// markDoneLocked finalizes a point's canonical record and wakes every
+// subscribed sweep. Idempotent: late or duplicate completions for an
+// already-done point change nothing.
+func (s *Server) markDoneLocked(p *point, canon *sweep.Record) {
 	if p.state == pDone {
-		return nil
+		return
 	}
 	if p.leaseID != "" {
 		delete(s.leases, p.leaseID)
@@ -327,9 +569,47 @@ func (s *Server) complete(p *point, replay *sweep.Record) error {
 		s.stats.Failed++
 	}
 	for _, run := range p.subs {
-		run.completeLocked(p.fp, canon.Err != "")
+		s.emitLocked(run, p.fp, canon, false)
 	}
 	p.subs = nil
+}
+
+// complete finalizes one point. Successes persist to the store before
+// anything is announced; failures consume the retry budget — requeued
+// while attempts remain, quarantined into a permanent-failure record
+// once they run out.
+func (s *Server) complete(p *point, replay *sweep.Record) error {
+	canon := &sweep.Record{Fingerprint: p.fp, Replay: replay.Replay, Err: replay.Err}
+	if canon.Err == "" && canon.Replay == nil {
+		canon.Err = "worker posted an empty result"
+	}
+	if canon.Err != "" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if p.state == pDone {
+			return nil
+		}
+		p.lastErr = canon.Err
+		if p.attempts < s.cfg.MaxAttempts {
+			s.stats.Retried++
+			s.logf("serve: %s failed (attempt %d/%d): %s (requeueing)",
+				p.fp, p.attempts, s.cfg.MaxAttempts, canon.Err)
+			s.requeueLocked(p)
+			return nil
+		}
+		s.stats.Quarantined++
+		canon.Err = fmt.Sprintf("quarantined after %d attempts: %s", p.attempts, canon.Err)
+		s.logf("serve: %s %s", p.fp, canon.Err)
+		s.markDoneLocked(p, canon)
+		return nil
+	}
+	if err := s.store.Put(canon); err != nil {
+		s.logf("serve: persisting %s: %v", p.fp, err)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markDoneLocked(p, canon)
 	return nil
 }
 
@@ -348,8 +628,9 @@ func (s *Server) popLocked() *point {
 }
 
 // waitLease blocks until a point can be leased, the wait budget runs
-// out (wait >= 0), or ctx/the server ends. embedded leases carry no
-// expiry and are exempt from the janitor.
+// out (wait >= 0), or ctx/the server ends. A draining server grants
+// nothing. embedded leases carry no expiry and are exempt from the
+// janitor.
 func (s *Server) waitLease(ctx context.Context, wait time.Duration, embedded bool) (*Lease, *point) {
 	var deadline time.Time
 	if wait >= 0 {
@@ -357,7 +638,7 @@ func (s *Server) waitLease(ctx context.Context, wait time.Duration, embedded boo
 	}
 	for {
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			return nil, nil
 		}
@@ -365,13 +646,16 @@ func (s *Server) waitLease(ctx context.Context, wait time.Duration, embedded boo
 			id := newID()
 			p.state = pLeased
 			p.leaseID = id
+			p.attempts++
+			s.stats.Attempts++
 			if embedded {
 				p.expiry = time.Time{}
 			} else {
 				p.expiry = time.Now().Add(s.cfg.LeaseTTL)
 			}
 			s.leases[id] = p
-			l := &Lease{ID: id, Fingerprint: p.fp, TTLMS: s.cfg.LeaseTTL.Milliseconds(), Scenario: p.scenarioJSON}
+			l := &Lease{ID: id, Fingerprint: p.fp, Attempt: p.attempts,
+				TTLMS: s.cfg.LeaseTTL.Milliseconds(), Scenario: p.scenarioJSON}
 			s.mu.Unlock()
 			return l, p
 		}
@@ -392,6 +676,8 @@ func (s *Server) waitLease(ctx context.Context, wait time.Duration, embedded boo
 		select {
 		case <-ch:
 		case <-timeout:
+			stop = true
+		case <-s.drainCh:
 			stop = true
 		case <-s.closing:
 			stop = true
@@ -447,9 +733,27 @@ func (s *Server) runEmbedded(ctx context.Context) {
 	}
 }
 
+// replayFunc executes one scenario; tests swap it to inject failures and
+// panics on demand.
+var replayFunc = func(ctx context.Context, sc *scenario.Scenario) (*core.Result, error) {
+	return sc.Run(ctx)
+}
+
+// safeRun is replayFunc with panics recovered into errors: a poisoned
+// scenario must cost its point (and its retry budget), never the worker
+// process or the server.
+func safeRun(ctx context.Context, sc *scenario.Scenario) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("replay panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return replayFunc(ctx, sc)
+}
+
 // runScenario replays one scenario into a canonical record.
 func runScenario(ctx context.Context, sc *scenario.Scenario) *sweep.Record {
-	res, err := sc.Run(ctx)
+	res, err := safeRun(ctx, sc)
 	rec := &sweep.Record{Replay: res}
 	if err != nil {
 		rec.Replay = nil
@@ -458,7 +762,8 @@ func runScenario(ctx context.Context, sc *scenario.Scenario) *sweep.Record {
 	return rec
 }
 
-// runJanitor reclaims expired leases.
+// runJanitor reclaims expired leases, quarantining points whose retry
+// budget is spent instead of requeueing them forever.
 func (s *Server) runJanitor(ctx context.Context) {
 	defer s.wg.Done()
 	tick := s.cfg.LeaseTTL / 4
@@ -480,9 +785,22 @@ func (s *Server) runJanitor(ctx context.Context) {
 				if p.expiry.IsZero() || now.Before(p.expiry) {
 					continue
 				}
-				s.logf("serve: lease %s on %s expired; requeueing", id, p.fp)
 				s.stats.ExpiredLeases++
-				s.requeueLocked(p)
+				if p.attempts >= s.cfg.MaxAttempts {
+					s.stats.Quarantined++
+					reason := "worker never reported back"
+					if p.lastErr != "" {
+						reason = p.lastErr
+					}
+					canon := &sweep.Record{Fingerprint: p.fp,
+						Err: fmt.Sprintf("quarantined after %d attempts: %s", p.attempts, reason)}
+					s.logf("serve: lease %s on %s expired; %s", id, p.fp, canon.Err)
+					s.markDoneLocked(p, canon)
+				} else {
+					s.logf("serve: lease %s on %s expired (attempt %d/%d); requeueing",
+						id, p.fp, p.attempts, s.cfg.MaxAttempts)
+					s.requeueLocked(p)
+				}
 			}
 			s.mu.Unlock()
 		}
@@ -508,7 +826,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	run, resp := s.register(sw, points)
+	run, resp, err := s.register(sw, points)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	s.logf("serve: sweep %s (%s): %d points, %d cached, %d merged, %d pending",
 		run.id, sw.Name, resp.Points, resp.Cached, resp.Merged, resp.Pending)
 	w.Header().Set("Content-Type", "application/json")
@@ -536,8 +858,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // recordLocked renders the run's idx-th grid point with the sweep's own
-// metadata around the shared canonical result.
-func (run *sweepRun) recordLocked(s *Server, idx int) *sweep.Record {
+// metadata around the shared canonical result. seq is the record's
+// 1-based position in the completion order.
+func (run *sweepRun) recordLocked(s *Server, idx, seq int) *sweep.Record {
 	pt := run.points[idx]
 	canon := s.points[pt.Fingerprint].record
 	return &sweep.Record{
@@ -545,6 +868,7 @@ func (run *sweepRun) recordLocked(s *Server, idx int) *sweep.Record {
 		Index:       pt.Index,
 		Name:        pt.Scenario.Name,
 		Fingerprint: pt.Fingerprint,
+		Seq:         int64(seq),
 		Values:      pt.Values,
 		Labels:      pt.Labels,
 		Cached:      run.cached[idx],
@@ -561,17 +885,26 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "serve: unknown sweep %q", r.PathValue("id"))
 		return
 	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > len(run.points) {
+			httpError(w, http.StatusBadRequest, "serve: bad after=%q (sweep has %d points)", v, len(run.points))
+			return
+		}
+		after = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Tireplay-Points", strconv.Itoa(len(run.points)))
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	next := 0
+	next := after
 	for {
 		s.mu.Lock()
 		var recs []*sweep.Record
 		for ; next < len(run.order); next++ {
-			recs = append(recs, run.recordLocked(s, run.order[next]))
+			recs = append(recs, run.recordLocked(s, run.order[next], next+1))
 		}
 		done := len(run.order) == len(run.points)
 		ch := run.notify
@@ -620,7 +953,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	s.logf("serve: leased %s to %s (lease %s)", l.Fingerprint, req.Worker, l.ID)
+	s.logf("serve: leased %s to %s (lease %s, attempt %d)", l.Fingerprint, req.Worker, l.ID, l.Attempt)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(l) //nolint:errcheck
 }

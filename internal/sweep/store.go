@@ -26,6 +26,10 @@ type Record struct {
 	Name string `json:"name,omitempty"`
 	// Fingerprint keys the record in the result store.
 	Fingerprint string `json:"fingerprint"`
+	// Seq is the record's 1-based position in its sweep's completion
+	// order. Only the sweep service sets it (streams resume with
+	// ?after=N); locally-run and stored records leave it zero.
+	Seq int64 `json:"seq,omitempty"`
 	// Values and Labels record the point's axis values and display labels.
 	Values map[string]any    `json:"values,omitempty"`
 	Labels map[string]string `json:"labels,omitempty"`

@@ -91,6 +91,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"time"
 
 	"tireplay/internal/calibrate"
 	"tireplay/internal/core"
@@ -351,7 +352,10 @@ func NewSweepClient(base string) *SweepClient { return serve.NewClient(base) }
 // sweeps share one result store: points already stored are served from
 // cache, points in flight for one client are joined by every other, so N
 // clients submitting overlapping grids cost one replay per distinct
-// scenario fingerprint.
+// scenario fingerprint. A durable journal next to the store makes open
+// sweeps survive restarts, and cancellation drains gracefully: no new
+// leases, in-flight work gets cfg.Drain (default 10s) to post, the
+// journal is flushed, then the listener closes.
 func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -363,6 +367,13 @@ func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
 	go func() {
 		select {
 		case <-ctx.Done():
+			drain := cfg.Drain
+			if drain <= 0 {
+				drain = 10 * time.Second
+			}
+			dctx, cancel := context.WithTimeout(context.Background(), drain)
+			s.Shutdown(dctx) //nolint:errcheck // drains leases, ends streams, closes the journal
+			cancel()
 			srv.Shutdown(context.Background()) //nolint:errcheck
 		case <-done:
 		}
