@@ -4,11 +4,20 @@
 // the benchmark run through it to produce the BENCH_ci.json artifact that
 // records the performance trajectory per commit:
 //
-//	go test -bench . -benchtime=1x -run '^$' ./... | benchjson > BENCH_ci.json
+//	go test -bench . -benchtime=3x -count=3 -run '^$' ./... | benchjson > BENCH_ci.json
+//
+// When a benchmark appears several times (`-count=N`), the runs are
+// reduced to their per-metric median, which is what makes a ratio gate
+// usable on noisy shared runners.
 //
 // With -compare FILE it instead prints a ns/op ratio table of the current
 // run against a previously produced JSON document (the committed
-// BENCH_baseline.json), so regressions are visible directly in the CI log.
+// BENCH_baseline.json). The comparison becomes a CI gate with -max-ratio
+// (ns/op) and -max-alloc-ratio (allocs/op): any benchmark regressing past
+// its threshold makes benchjson exit non-zero. -min-ns exempts benchmarks
+// whose baseline is too fast to time reliably from the ns/op gate (their
+// allocs/op, which is deterministic, stays gated). -summary FILE appends
+// the table as GitHub-flavored markdown, for $GITHUB_STEP_SUMMARY.
 package main
 
 import (
@@ -38,9 +47,13 @@ type Metrics struct {
 
 func main() {
 	compareWith := flag.String("compare", "", "baseline JSON file: print ns/op ratios instead of JSON")
+	maxRatio := flag.Float64("max-ratio", 0, "with -compare: fail when current/baseline ns/op exceeds this (0 = no gate)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 0, "with -compare: fail when current/baseline allocs/op exceeds this (0 = no gate)")
+	minNs := flag.Float64("min-ns", 0, "with -compare: exempt benchmarks whose baseline ns/op is below this from the ns/op gate")
+	summary := flag.String("summary", "", "with -compare: append the ratio table as markdown to this file")
 	flag.Parse()
 
-	results := make(map[string]Metrics)
+	runs := make(map[string][]Metrics)
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -60,20 +73,30 @@ func main() {
 		if pkg != "" {
 			name = pkg + "." + name
 		}
-		results[name] = m
+		runs[name] = append(runs[name], m)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
+	if len(runs) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	results := make(map[string]Metrics, len(runs))
+	for name, rs := range runs {
+		results[name] = reduceRuns(rs)
+	}
 
 	if *compareWith != "" {
-		if err := compare(results, *compareWith); err != nil {
+		gate := gateConfig{maxRatio: *maxRatio, maxAllocRatio: *maxAllocRatio, minNs: *minNs, summaryPath: *summary}
+		breaches, err := compare(results, *compareWith, gate)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if breaches > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past the gate\n", breaches)
 			os.Exit(1)
 		}
 		return
@@ -89,37 +112,101 @@ func main() {
 	}
 }
 
-// compare prints a sorted current-vs-baseline ns/op table for every
-// benchmark present in both runs, and lists benchmarks only one side has.
-func compare(current map[string]Metrics, baselinePath string) error {
+// reduceRuns collapses repeated runs of one benchmark (-count=N) into a
+// single Metrics value by taking the median of every metric independently.
+// The median, unlike the mean, shrugs off the occasional run where a shared
+// CI runner stalled — which is what makes a ratio gate non-flaky.
+func reduceRuns(rs []Metrics) Metrics {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	pick := func(f func(Metrics) float64) float64 {
+		vs := make([]float64, len(rs))
+		for i, r := range rs {
+			vs[i] = f(r)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	return Metrics{
+		Iterations:  int64(pick(func(m Metrics) float64 { return float64(m.Iterations) })),
+		NsPerOp:     pick(func(m Metrics) float64 { return m.NsPerOp }),
+		BPerOp:      pick(func(m Metrics) float64 { return m.BPerOp }),
+		AllocsPerOp: pick(func(m Metrics) float64 { return m.AllocsPerOp }),
+		MBPerS:      pick(func(m Metrics) float64 { return m.MBPerS }),
+		Procs:       rs[0].Procs,
+	}
+}
+
+// gateConfig holds the regression thresholds for compare.
+type gateConfig struct {
+	maxRatio      float64 // ns/op threshold, 0 = no gate
+	maxAllocRatio float64 // allocs/op threshold, 0 = no gate
+	minNs         float64 // baselines faster than this skip the ns/op gate
+	summaryPath   string  // markdown table destination, "" = none
+}
+
+// row is one line of the comparison table.
+type row struct {
+	name       string
+	cur, base  Metrics
+	hasBase    bool
+	gone       bool
+	nsRatio    float64
+	allocRatio float64
+	verdict    string // "ok", "FAIL", "new", "gone", or "skip" (below -min-ns)
+}
+
+// compare builds a current-vs-baseline table for every benchmark present in
+// either run, prints it, optionally appends a markdown rendering to the
+// summary file, and returns how many benchmarks breached a gate.
+func compare(current map[string]Metrics, baselinePath string, gate gateConfig) (int, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	baseline := make(map[string]Metrics)
 	if err := json.Unmarshal(data, &baseline); err != nil {
-		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+		return 0, fmt.Errorf("parsing %s: %w", baselinePath, err)
 	}
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-70s %14s %14s %7s\n", "benchmark", "current ns/op", "baseline ns/op", "ratio")
+	var rows []row
+	breaches := 0
 	for _, name := range names {
-		cur := current[name]
-		base, ok := baseline[name]
-		if !ok {
-			fmt.Fprintf(w, "%-70s %14.0f %14s %7s\n", name, cur.NsPerOp, "-", "new")
-			continue
+		r := row{name: name, cur: current[name]}
+		if base, ok := baseline[name]; ok {
+			r.hasBase = true
+			r.base = base
+			if base.NsPerOp > 0 {
+				r.nsRatio = r.cur.NsPerOp / base.NsPerOp
+			}
+			if base.AllocsPerOp > 0 {
+				r.allocRatio = r.cur.AllocsPerOp / base.AllocsPerOp
+			}
+			r.verdict = "ok"
+			if base.NsPerOp < gate.minNs {
+				r.verdict = "skip"
+			} else if gate.maxRatio > 0 && r.nsRatio > gate.maxRatio {
+				r.verdict = "FAIL"
+			}
+			if gate.maxAllocRatio > 0 && r.allocRatio > gate.maxAllocRatio {
+				r.verdict = "FAIL"
+			}
+			if r.verdict == "FAIL" {
+				breaches++
+			}
+		} else {
+			r.verdict = "new"
 		}
-		ratio := 0.0
-		if base.NsPerOp > 0 {
-			ratio = cur.NsPerOp / base.NsPerOp
-		}
-		fmt.Fprintf(w, "%-70s %14.0f %14.0f %6.2fx\n", name, cur.NsPerOp, base.NsPerOp, ratio)
+		rows = append(rows, r)
 	}
 	var gone []string
 	for name := range baseline {
@@ -129,9 +216,71 @@ func compare(current map[string]Metrics, baselinePath string) error {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Fprintf(w, "%-70s %14s %14.0f %7s\n", name, "-", baseline[name].NsPerOp, "gone")
+		rows = append(rows, row{name: name, base: baseline[name], hasBase: true, gone: true, verdict: "gone"})
 	}
-	return nil
+
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-70s %14s %14s %7s %7s %5s\n",
+		"benchmark", "current ns/op", "baseline ns/op", "ns", "allocs", "gate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-70s %14s %14s %7s %7s %5s\n",
+			r.name, fmtNs(r.cur.NsPerOp, r.gone), fmtNs(r.base.NsPerOp, !r.hasBase),
+			fmtRatio(r.nsRatio), fmtRatio(r.allocRatio), r.verdict)
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	if gate.summaryPath != "" {
+		if err := writeMarkdown(gate.summaryPath, rows, gate); err != nil {
+			return 0, err
+		}
+	}
+	return breaches, nil
+}
+
+func fmtNs(v float64, missing bool) string {
+	if missing {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
+func fmtRatio(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+// writeMarkdown appends the comparison as a GFM table, the shape GitHub
+// renders in a job's step summary.
+func writeMarkdown(path string, rows []row, gate gateConfig) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "### Benchmark ratios vs baseline\n\n")
+	if gate.maxRatio > 0 || gate.maxAllocRatio > 0 {
+		fmt.Fprintf(w, "Gate: ns/op ≤ %.2fx, allocs/op ≤ %.2fx (ns/op gate skipped below %.0f ns baseline).\n\n",
+			gate.maxRatio, gate.maxAllocRatio, gate.minNs)
+	}
+	fmt.Fprintln(w, "| benchmark | current ns/op | baseline ns/op | ns ratio | allocs ratio | gate |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|:---:|")
+	for _, r := range rows {
+		verdict := r.verdict
+		if verdict == "FAIL" {
+			verdict = "❌ FAIL"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			r.name, fmtNs(r.cur.NsPerOp, r.gone), fmtNs(r.base.NsPerOp, !r.hasBase),
+			fmtRatio(r.nsRatio), fmtRatio(r.allocRatio), verdict)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // parseBenchLine parses one result line, e.g.

@@ -58,6 +58,45 @@ type World interface {
 	Spawn(rank int, body func(RankOps))
 }
 
+// TaskOps is the compile-time counterpart of RankOps: each method lowers one
+// trace action into sim micro-ops appended to the given program, instead of
+// executing it on a goroutine-backed process. Wait/waitall are absent on
+// purpose — the driver emits Prog.WaitPending/WaitAllPending itself, because
+// the pending-request FIFO (and the no-outstanding-request trace check) is
+// driver state, not backend state.
+type TaskOps interface {
+	Compute(p *sim.Prog, instr float64)
+
+	// Point-to-point operations. Isend/Irecv push onto the program's pending
+	// FIFO.
+	Send(p *sim.Prog, dst int, bytes float64)
+	Isend(p *sim.Prog, dst int, bytes float64)
+	Recv(p *sim.Prog, src int)
+	Irecv(p *sim.Prog, src int)
+
+	// Collective operations.
+	Barrier(p *sim.Prog)
+	Bcast(p *sim.Prog, bytes float64, root int)
+	Reduce(p *sim.Prog, bytes float64, root int)
+	AllReduce(p *sim.Prog, bytes float64)
+	AllToAll(p *sim.Prog, bytes float64)
+	Gather(p *sim.Prog, bytes float64, root int)
+	AllGather(p *sim.Prog, bytes float64)
+}
+
+// TaskWorld is implemented by worlds whose backend can also compile ranks to
+// continuation programs. Replay uses this path by default — each rank becomes
+// a resumable state machine stepped inline by the event loop rather than a
+// goroutine — falling back to Spawn for backends that only execute, or when
+// Config.GoroutineProcs forces the legacy scheduler for differential testing.
+type TaskWorld interface {
+	World
+	// TaskOps returns the per-rank action compiler.
+	TaskOps(rank int) TaskOps
+	// SpawnProg starts rank as a continuation program fed by feed.
+	SpawnProg(rank int, feed sim.Feed)
+}
+
 // Backend builds replay worlds for one simulation model.
 type Backend interface {
 	// Name is the registry key ("smpi", "msg", ...).
@@ -143,6 +182,10 @@ func (sw smpiWorld) Spawn(rank int, body func(RankOps)) {
 	sw.w.Spawn(rank, func(r *mpi.Rank) { body(smpiOps{r}) })
 }
 
+func (sw smpiWorld) TaskOps(rank int) TaskOps { return sw.w.TaskRank(rank) }
+
+func (sw smpiWorld) SpawnProg(rank int, feed sim.Feed) { sw.w.SpawnProg(rank, feed) }
+
 // smpiOps adapts *mpi.Rank to RankOps. Embedding promotes every method whose
 // signature already matches; only the request-typed ones need wrapping.
 type smpiOps struct{ *mpi.Rank }
@@ -188,6 +231,10 @@ type msgWorld struct{ w *msgreplay.World }
 func (mw msgWorld) Spawn(rank int, body func(RankOps)) {
 	mw.w.Spawn(rank, func(r *msgreplay.Rank) { body(msgOps{r}) })
 }
+
+func (mw msgWorld) TaskOps(rank int) TaskOps { return mw.w.TaskRank(rank) }
+
+func (mw msgWorld) SpawnProg(rank int, feed sim.Feed) { mw.w.SpawnProg(rank, feed) }
 
 // msgOps adapts *msgreplay.Rank to RankOps.
 type msgOps struct{ *msgreplay.Rank }

@@ -54,6 +54,12 @@ type Config struct {
 	// Hosts optionally maps ranks to specific hosts; by default rank i runs
 	// on the platform's i-th host.
 	Hosts []*sim.Host
+	// GoroutineProcs forces the legacy goroutine-per-rank scheduler instead
+	// of the continuation state machines the built-in backends compile to.
+	// The two are bit-identical in simulated times and stats; the goroutine
+	// path exists for differential testing and for third-party backends that
+	// only implement World.
+	GoroutineProcs bool
 }
 
 // Result reports a completed replay. It is JSON-serializable (the sweep
@@ -109,6 +115,9 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 	if cfg.Network != nil {
 		opts = append(opts, sim.WithNetworkModel(cfg.Network))
 	}
+	if cfg.GoroutineProcs {
+		opts = append(opts, sim.WithGoroutineProcs())
+	}
 	engine := sim.NewEngine(plat, opts...)
 
 	world, err := backend.NewWorld(engine, hosts, cfg)
@@ -127,6 +136,13 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 			}
 		}
 	}()
+	// Continuation mode is the default whenever the backend can compile its
+	// ranks; the goroutine scheduler remains available for differential
+	// testing and execute-only backends.
+	taskWorld, taskMode := world.(TaskWorld)
+	if cfg.GoroutineProcs {
+		taskMode = false
+	}
 	var actions int64
 	for rank := 0; rank < n; rank++ {
 		stream, err := prov.Rank(rank)
@@ -134,7 +150,11 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 			return nil, fmt.Errorf("core: opening stream for rank %d: %w", rank, err)
 		}
 		streams = append(streams, stream)
-		spawnRank(world, backend.Name(), rank, stream, &actions)
+		if taskMode {
+			spawnRankTask(taskWorld, backend.Name(), rank, stream, &actions)
+		} else {
+			spawnRank(world, backend.Name(), rank, stream, &actions)
+		}
 	}
 
 	start := time.Now()

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/msgreplay"
+	"tireplay/internal/trace"
+)
+
+// Differential property: the continuation scheduler (the default) and the
+// legacy goroutine-per-rank scheduler must produce bit-identical results —
+// the same simulated time, action count, and every engine counter — on
+// random traces exercising every replayable action kind, for both backends
+// and across model configurations. This is the test that licenses compiling
+// ranks to state machines at all.
+
+// randomTrace builds a balanced random trace over n ranks: matched
+// eager and rendezvous point-to-point traffic, isend/irecv with FIFO
+// wait/waitall, compute, and the full collective set.
+func randomTrace(rng *rand.Rand, n int) [][]trace.Action {
+	perRank := make([][]trace.Action, n)
+	addAll := func(kind trace.Kind, bytes float64, root int) {
+		for r := 0; r < n; r++ {
+			perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: kind, Bytes: bytes, Root: root, Peer: -1})
+		}
+	}
+	for round := 0; round < 15; round++ {
+		switch rng.Intn(6) {
+		case 0: // blocking exchange, size straddling the eager threshold
+			src := rng.Intn(n)
+			dst := (src + 1 + rng.Intn(n-1)) % n
+			size := float64(1 + rng.Intn(150000))
+			perRank[src] = append(perRank[src], trace.Action{Rank: src, Kind: trace.Send, Peer: dst, Bytes: size})
+			perRank[dst] = append(perRank[dst], trace.Action{Rank: dst, Kind: trace.Recv, Peer: src, Bytes: size})
+		case 1: // nonblocking pair drained by wait or waitall
+			src := rng.Intn(n)
+			dst := (src + 1 + rng.Intn(n-1)) % n
+			size := float64(1 + rng.Intn(150000))
+			perRank[src] = append(perRank[src], trace.Action{Rank: src, Kind: trace.ISend, Peer: dst, Bytes: size})
+			perRank[dst] = append(perRank[dst], trace.Action{Rank: dst, Kind: trace.IRecv, Peer: src, Bytes: size})
+			if rng.Intn(2) == 0 {
+				perRank[src] = append(perRank[src], trace.Action{Rank: src, Kind: trace.Wait, Peer: -1})
+				perRank[dst] = append(perRank[dst], trace.Action{Rank: dst, Kind: trace.Wait, Peer: -1})
+			} else {
+				perRank[src] = append(perRank[src], trace.Action{Rank: src, Kind: trace.WaitAll, Peer: -1})
+				perRank[dst] = append(perRank[dst], trace.Action{Rank: dst, Kind: trace.WaitAll, Peer: -1})
+			}
+		case 2:
+			for r := 0; r < n; r++ {
+				perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.Compute, Instructions: float64(rng.Intn(1e6)), Peer: -1})
+			}
+		case 3:
+			addAll(trace.Barrier, 0, 0)
+		case 4:
+			root := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				addAll(trace.Bcast, float64(1+rng.Intn(100000)), root)
+			case 1:
+				addAll(trace.Reduce, float64(1+rng.Intn(4096)), root)
+			default:
+				addAll(trace.Gather, float64(1+rng.Intn(4096)), root)
+			}
+		default:
+			switch rng.Intn(3) {
+			case 0:
+				addAll(trace.AllReduce, float64(1+rng.Intn(100000)), 0)
+			case 1:
+				addAll(trace.AllToAll, float64(1+rng.Intn(8192)), 0)
+			default:
+				addAll(trace.AllGather, float64(1+rng.Intn(8192)), 0)
+			}
+		}
+	}
+	// Every rank finishes with a waitall so no pending request leaks.
+	addAll(trace.WaitAll, 0, 0)
+	return perRank
+}
+
+func TestContinuationGoroutineBitIdentical(t *testing.T) {
+	configs := []Config{
+		{Backend: SMPI},
+		{Backend: SMPI, MPI: mpi.ModelConfig{
+			SendOverhead: 1e-7, RecvOverhead: 2e-7,
+			MemcpyBandwidth: 5e9, MemcpyLatency: 1e-8,
+			Bcast: mpi.BcastChain, AllReduce: mpi.AllReduceRing,
+		}},
+		{Backend: MSG, MSG: msgreplay.Config{RefLatency: 1e-5, RefBandwidth: 1e9}},
+	}
+	f := func(seed int64) bool {
+		// 5 ranks: odd size exercises the non-power-of-two collective paths.
+		const n = 5
+		rng := rand.New(rand.NewSource(seed))
+		perRank := randomTrace(rng, n)
+		for _, cfg := range configs {
+			task := cfg
+			task.GoroutineProcs = false
+			goro := cfg
+			goro.GoroutineProcs = true
+			resTask, errTask := Replay(trace.NewMemProvider(perRank), testPlatform(t, n), task)
+			resGoro, errGoro := Replay(trace.NewMemProvider(perRank), testPlatform(t, n), goro)
+			if (errTask == nil) != (errGoro == nil) {
+				t.Logf("error mismatch (backend %s): task=%v goroutine=%v", cfg.Backend, errTask, errGoro)
+				return false
+			}
+			if errTask != nil {
+				continue
+			}
+			if resTask.SimulatedTime != resGoro.SimulatedTime {
+				t.Logf("backend %s: simulated time %v (continuation) != %v (goroutine)",
+					cfg.Backend, resTask.SimulatedTime, resGoro.SimulatedTime)
+				return false
+			}
+			if resTask.Actions != resGoro.Actions {
+				t.Logf("backend %s: actions %d != %d", cfg.Backend, resTask.Actions, resGoro.Actions)
+				return false
+			}
+			if resTask.Engine != resGoro.Engine {
+				t.Logf("backend %s: stats diverge\n continuation: %+v\n goroutine:    %+v",
+					cfg.Backend, resTask.Engine, resGoro.Engine)
+				return false
+			}
+		}
+		return true
+	}
+	max := 25
+	if testing.Short() {
+		max = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The trace-level failure modes must also be scheduler-independent: the
+// structured TraceError for an orphan wait, and the deadlock report for
+// crossed blocking receives, have to read identically in both modes.
+func TestTraceFailuresIdenticalAcrossSchedulers(t *testing.T) {
+	cases := []struct {
+		name    string
+		perRank [][]trace.Action
+	}{
+		{"orphan-wait", [][]trace.Action{
+			{{Rank: 0, Kind: trace.Compute, Instructions: 10, Peer: -1}, {Rank: 0, Kind: trace.Wait, Peer: -1}},
+		}},
+		{"crossed-recv-deadlock", [][]trace.Action{
+			{{Rank: 0, Kind: trace.Recv, Peer: 1, Bytes: 8}, {Rank: 0, Kind: trace.Send, Peer: 1, Bytes: 8}},
+			{{Rank: 1, Kind: trace.Recv, Peer: 0, Bytes: 8}, {Rank: 1, Kind: trace.Send, Peer: 0, Bytes: 8}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := len(tc.perRank)
+			_, errTask := Replay(trace.NewMemProvider(tc.perRank), testPlatform(t, n), Config{})
+			_, errGoro := Replay(trace.NewMemProvider(tc.perRank), testPlatform(t, n), Config{GoroutineProcs: true})
+			if errTask == nil || errGoro == nil {
+				t.Fatalf("want errors, got task=%v goroutine=%v", errTask, errGoro)
+			}
+			if errTask.Error() != errGoro.Error() {
+				t.Fatalf("failure reports diverge:\n continuation: %v\n goroutine:    %v", errTask, errGoro)
+			}
+		})
+	}
+}
+
+// The continuation deadlock report is also pinned to a golden string so the
+// lazy mailbox-name rendering can never drift from the historical format.
+func TestCrossedRecvDeadlockGolden(t *testing.T) {
+	perRank := [][]trace.Action{
+		{{Rank: 0, Kind: trace.Recv, Peer: 1, Bytes: 8}},
+		{{Rank: 1, Kind: trace.Recv, Peer: 0, Bytes: 8}},
+	}
+	_, err := Replay(trace.NewMemProvider(perRank), testPlatform(t, 2), Config{})
+	if err == nil {
+		t.Fatal("crossed receives must deadlock")
+	}
+	const golden = `core: replay failed: sim: deadlock at t=0 with 2 blocked process(es): ` +
+		`rank0: wait(comm 1 on "p:1>0"); rank1: wait(comm 2 on "p:0>1")`
+	if err.Error() != golden {
+		t.Fatalf("deadlock report = %q, want %q", err.Error(), golden)
+	}
+}

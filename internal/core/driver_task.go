@@ -1,0 +1,77 @@
+package core
+
+// The continuation-mode rank driver: the same action loop as driver.go, but
+// instead of executing each action on a goroutine-backed process it lowers
+// the action into sim micro-ops through TaskOps. The feed is invoked by the
+// engine exactly when the previous action's ops have drained — the moment the
+// goroutine driver would read its next action — so action counts, trace
+// errors, and compile-time panics land at identical points in simulated time.
+
+import (
+	"fmt"
+
+	"tireplay/internal/sim"
+	"tireplay/internal/trace"
+)
+
+// spawnRankTask starts rank as a continuation program on world. The pending
+// FIFO lives in the machine; the driver only tracks its depth, which is all
+// the no-outstanding-request trace check needs.
+func spawnRankTask(world TaskWorld, backend string, rank int, stream trace.Stream, actions *int64) {
+	ops := world.TaskOps(rank)
+	npending := 0
+	world.SpawnProg(rank, func(prog *sim.Prog) (bool, error) {
+		a, ok, err := stream.Next()
+		if err != nil {
+			return false, &TraceError{Backend: backend, Rank: rank, Err: fmt.Errorf("reading stream: %w", err)}
+		}
+		if !ok {
+			return false, nil
+		}
+		// The engine is single-threaded (lockstep), so the shared counter
+		// needs no synchronization.
+		*actions++
+		switch a.Kind {
+		case trace.Init, trace.Finalize:
+			// Structural markers: no simulated cost.
+		case trace.Compute:
+			ops.Compute(prog, a.Instructions)
+		case trace.Send:
+			ops.Send(prog, a.Peer, a.Bytes)
+		case trace.ISend:
+			ops.Isend(prog, a.Peer, a.Bytes)
+			npending++
+		case trace.Recv:
+			ops.Recv(prog, a.Peer)
+		case trace.IRecv:
+			ops.Irecv(prog, a.Peer)
+			npending++
+		case trace.Wait:
+			if npending == 0 {
+				return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind, Err: ErrNoOutstandingRequest}
+			}
+			prog.WaitPending()
+			npending--
+		case trace.WaitAll:
+			prog.WaitAllPending()
+			npending = 0
+		case trace.Barrier:
+			ops.Barrier(prog)
+		case trace.Bcast:
+			ops.Bcast(prog, a.Bytes, a.Root)
+		case trace.Reduce:
+			ops.Reduce(prog, a.Bytes, a.Root)
+		case trace.AllReduce:
+			ops.AllReduce(prog, a.Bytes)
+		case trace.AllToAll:
+			ops.AllToAll(prog, a.Bytes)
+		case trace.Gather:
+			ops.Gather(prog, a.Bytes, a.Root)
+		case trace.AllGather:
+			ops.AllGather(prog, a.Bytes)
+		default:
+			return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind, Err: ErrUnsupportedAction}
+		}
+		return true, nil
+	})
+}

@@ -6,24 +6,44 @@ import "fmt"
 // (Section 3.3: the SMPI rewrite replaces the MSG prototype's "monolithic
 // performance models of collective communications" with actual message
 // exchanges, following the algorithms of mainstream MPI implementations).
+//
+// The algorithms are written once, as free functions over the collPrims
+// primitive set, and driven by two implementations: the executing *Rank
+// (goroutine mode) and the compiling *TaskRank (continuation mode). Both
+// modes therefore produce the same message schedule by construction — the
+// property the differential replay tests pin down to bit-identical times.
+
+// collPrims is the primitive set a collective algorithm needs: identity plus
+// the protocol-following point-to-point operations on the collective mailbox
+// namespace.
+type collPrims interface {
+	Rank() int
+	Size() int
+	sendColl(dst int, bytes float64)
+	recvColl(src int)
+	sendRecvColl(dst int, bytes float64, src int)
+	putColl(dst int, bytes float64) // blocking send (chain-head pacing)
+}
 
 // Barrier synchronizes all ranks: a binomial-tree gather of empty messages
 // to rank 0 followed by a binomial-tree release.
-func (r *Rank) Barrier() {
-	r.reduceTree(0, 1)
-	r.bcastTree(0, 1)
-}
+func (r *Rank) Barrier() { barrierColl(r) }
 
 // Bcast broadcasts bytes from root using the configured algorithm
 // (binomial tree by default).
 func (r *Rank) Bcast(bytes float64, root int) {
-	r.BcastWith(r.world.cfg.Bcast, bytes, root)
+	bcastWithColl(r, r.world.cfg.Bcast, bytes, root)
+}
+
+// BcastWith broadcasts using an explicit algorithm.
+func (r *Rank) BcastWith(algo BcastAlgo, bytes float64, root int) {
+	bcastWithColl(r, algo, bytes, root)
 }
 
 // Reduce combines bytes from every rank onto root along a binomial tree.
 func (r *Rank) Reduce(bytes float64, root int) {
-	r.checkRoot(root, "Reduce")
-	r.reduceTree(root, bytes)
+	checkRootColl(r, root, "Reduce")
+	reduceTree(r, root, bytes)
 }
 
 // AllReduce combines and redistributes bytes across all ranks using the
@@ -31,82 +51,108 @@ func (r *Rank) Reduce(bytes float64, root int) {
 // exchange rounds on power-of-two communicators and falls back to
 // Reduce+Bcast otherwise, as common MPI runtimes do for irregular sizes.
 func (r *Rank) AllReduce(bytes float64) {
-	r.AllReduceWith(r.world.cfg.AllReduce, bytes)
+	allReduceWithColl(r, r.world.cfg.AllReduce, bytes)
+}
+
+// AllReduceWith reduces-and-redistributes using an explicit algorithm.
+func (r *Rank) AllReduceWith(algo AllReduceAlgo, bytes float64) {
+	allReduceWithColl(r, algo, bytes)
+}
+
+// AllToAll exchanges bytes with every other rank using the pairwise-exchange
+// algorithm.
+func (r *Rank) AllToAll(bytes float64) { alltoallPairwise(r, bytes) }
+
+// Gather collects bytes from every rank to root (linear algorithm: each
+// non-root sends once, the root receives P-1 messages).
+func (r *Rank) Gather(bytes float64, root int) {
+	checkRootColl(r, root, "Gather")
+	gatherLinear(r, bytes, root)
+}
+
+// AllGather uses the ring algorithm: P-1 steps, each rank forwarding bytes
+// to its successor while receiving from its predecessor.
+func (r *Rank) AllGather(bytes float64) { allGatherRing(r, bytes) }
+
+// barrierColl is the binomial gather + release barrier.
+func barrierColl(c collPrims) {
+	reduceTree(c, 0, 1)
+	bcastTree(c, 0, 1)
 }
 
 // allReduceRDB is the recursive-doubling implementation with the
 // reduce+bcast fallback for non-power-of-two communicators.
-func (r *Rank) allReduceRDB(bytes float64) {
-	p := r.Size()
+func allReduceRDB(c collPrims, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
 	if p&(p-1) == 0 {
 		for mask := 1; mask < p; mask <<= 1 {
-			partner := r.rank ^ mask
-			r.sendRecvColl(partner, bytes, partner)
+			partner := c.Rank() ^ mask
+			c.sendRecvColl(partner, bytes, partner)
 		}
 		return
 	}
-	r.reduceTree(0, bytes)
-	r.bcastTree(0, bytes)
+	reduceTree(c, 0, bytes)
+	bcastTree(c, 0, bytes)
 }
 
-// AllToAll exchanges bytes with every other rank using the pairwise-exchange
-// algorithm: P-1 rounds, in round i exchanging with rank^i patterns (for
-// power-of-two) or a shifted schedule otherwise.
-func (r *Rank) AllToAll(bytes float64) {
-	p := r.Size()
+// alltoallPairwise exchanges bytes with every other rank: P-1 rounds, in
+// round i exchanging with a shifted schedule.
+func alltoallPairwise(c collPrims, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
+	rank := c.Rank()
 	for i := 1; i < p; i++ {
-		dst := (r.rank + i) % p
-		src := (r.rank - i + p) % p
-		r.sendRecvColl(dst, bytes, src)
+		dst := (rank + i) % p
+		src := (rank - i + p) % p
+		c.sendRecvColl(dst, bytes, src)
 	}
 }
 
-// Gather collects bytes from every rank to root (linear algorithm: each
-// non-root sends once, the root receives P-1 messages).
-func (r *Rank) Gather(bytes float64, root int) {
-	r.checkRoot(root, "Gather")
-	if r.Size() == 1 {
+// gatherLinear collects bytes to root: each non-root sends once, the root
+// receives P-1 messages in rank order.
+func gatherLinear(c collPrims, bytes float64, root int) {
+	p := c.Size()
+	if p == 1 {
 		return
 	}
-	if r.rank == root {
-		for src := 0; src < r.Size(); src++ {
+	if c.Rank() == root {
+		for src := 0; src < p; src++ {
 			if src != root {
-				r.recvColl(src)
+				c.recvColl(src)
 			}
 		}
 		return
 	}
-	r.sendColl(root, bytes)
+	c.sendColl(root, bytes)
 }
 
-// AllGather uses the ring algorithm: P-1 steps, each rank forwarding bytes
-// to its successor while receiving from its predecessor.
-func (r *Rank) AllGather(bytes float64) {
-	p := r.Size()
+// allGatherRing runs P-1 forwarding steps around the ring.
+func allGatherRing(c collPrims, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
-	next := (r.rank + 1) % p
-	prev := (r.rank - 1 + p) % p
+	rank := c.Rank()
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
 	for i := 0; i < p-1; i++ {
-		r.sendRecvColl(next, bytes, prev)
+		c.sendRecvColl(next, bytes, prev)
 	}
 }
 
 // bcastTree implements the binomial broadcast: the root's subtree unfolds in
 // log2 P rounds. vrank is the rank relative to the root.
-func (r *Rank) bcastTree(root int, bytes float64) {
-	p := r.Size()
+func bcastTree(c collPrims, root int, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
-	vrank := (r.rank - root + p) % p
+	vrank := (c.Rank() - root + p) % p
 	// Receive from parent (unless root).
 	if vrank != 0 {
 		mask := 1
@@ -115,7 +161,7 @@ func (r *Rank) bcastTree(root int, bytes float64) {
 		}
 		mask >>= 1
 		parent := ((vrank - mask) + root) % p
-		r.recvColl(parent)
+		c.recvColl(parent)
 	}
 	// Forward to children.
 	mask := 1
@@ -127,48 +173,50 @@ func (r *Rank) bcastTree(root int, bytes float64) {
 		if child >= p {
 			break
 		}
-		r.sendColl((child+root)%p, bytes)
+		c.sendColl((child+root)%p, bytes)
 	}
 }
 
 // reduceTree is the mirror image of bcastTree: leaves send first, inner
-// nodes receive from their subtree then forward to their parent.
-func (r *Rank) reduceTree(root int, bytes float64) {
-	p := r.Size()
+// nodes receive from their subtree then forward to their parent. The
+// children form a contiguous range of masks, so they are visited by
+// iterating masks downward — no per-call slice as the historical
+// implementation allocated.
+func reduceTree(c collPrims, root int, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
-	vrank := (r.rank - root + p) % p
-	// Receive from children, in reverse order of the bcast sends.
-	var children []int
-	mask := 1
-	for mask <= vrank {
-		mask <<= 1
+	vrank := (c.Rank() - root + p) % p
+	first := 1
+	for first <= vrank {
+		first <<= 1
 	}
-	for ; mask < p; mask <<= 1 {
+	// Receive from children, in reverse order of the bcast sends: child
+	// masks run [first, top] where top is the largest power of two below p;
+	// children landing at or beyond p simply do not exist.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	top >>= 1
+	for mask := top; mask >= first; mask >>= 1 {
 		child := vrank + mask
 		if child >= p {
-			break
+			continue
 		}
-		children = append(children, (child+root)%p)
-	}
-	for i := len(children) - 1; i >= 0; i-- {
-		r.recvColl(children[i])
+		c.recvColl((child + root) % p)
 	}
 	if vrank != 0 {
-		m := 1
-		for m <= vrank {
-			m <<= 1
-		}
-		m >>= 1
+		m := first >> 1
 		parent := ((vrank - m) + root) % p
-		r.sendColl(parent, bytes)
+		c.sendColl(parent, bytes)
 	}
 }
 
-func (r *Rank) checkRoot(root int, op string) {
-	if root < 0 || root >= r.Size() {
+func checkRootColl(c collPrims, root int, op string) {
+	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("mpi: rank %d: %s root %d outside communicator of size %d",
-			r.rank, op, root, r.Size()))
+			c.Rank(), op, root, c.Size()))
 	}
 }

@@ -38,31 +38,32 @@ const (
 // chainSegmentBytes is the pipeline segment size of BcastChain.
 const chainSegmentBytes = 8192
 
-// BcastWith broadcasts using an explicit algorithm.
-func (r *Rank) BcastWith(algo BcastAlgo, bytes float64, root int) {
-	r.checkRoot(root, "BcastWith")
-	p := r.Size()
+// bcastWithColl broadcasts using an explicit algorithm.
+func bcastWithColl(c collPrims, algo BcastAlgo, bytes float64, root int) {
+	checkRootColl(c, root, "BcastWith")
+	p := c.Size()
 	if p == 1 {
 		return
 	}
+	rank := c.Rank()
 	switch algo {
 	case BcastLinear:
-		if r.rank == root {
+		if rank == root {
 			for dst := 0; dst < p; dst++ {
 				if dst != root {
-					r.sendColl(dst, bytes)
+					c.sendColl(dst, bytes)
 				}
 			}
 			return
 		}
-		r.recvColl(root)
+		c.recvColl(root)
 	case BcastChain:
 		// Ranks form a chain in root-relative order; the payload moves in
 		// segments so downstream ranks start forwarding before the whole
 		// message has arrived.
-		vrank := (r.rank - root + p) % p
-		prev := (r.rank - 1 + p) % p
-		next := (r.rank + 1) % p
+		vrank := (rank - root + p) % p
+		prev := (rank - 1 + p) % p
+		next := (rank + 1) % p
 		segments := int(bytes / chainSegmentBytes)
 		if segments < 1 {
 			segments = 1
@@ -70,7 +71,7 @@ func (r *Rank) BcastWith(algo BcastAlgo, bytes float64, root int) {
 		seg := bytes / float64(segments)
 		for s := 0; s < segments; s++ {
 			if vrank != 0 {
-				r.recvColl(prev)
+				c.recvColl(prev)
 			}
 			if vrank != p-1 {
 				if vrank == 0 {
@@ -79,38 +80,38 @@ func (r *Rank) BcastWith(algo BcastAlgo, bytes float64, root int) {
 					// segment would be pushed eagerly at once, the link
 					// would be shared among all of them, and the pipeline
 					// would degenerate into a store-and-forward chain.
-					r.proc.Put(r.world.coll(r.rank, next), seg)
+					c.putColl(next, seg)
 				} else {
 					// Downstream ranks are naturally paced by arrivals.
-					r.sendColl(next, seg)
+					c.sendColl(next, seg)
 				}
 			}
 		}
 	default:
-		r.bcastTree(root, bytes)
+		bcastTree(c, root, bytes)
 	}
 }
 
-// AllReduceWith reduces-and-redistributes using an explicit algorithm.
-func (r *Rank) AllReduceWith(algo AllReduceAlgo, bytes float64) {
-	p := r.Size()
+// allReduceWithColl reduces-and-redistributes using an explicit algorithm.
+func allReduceWithColl(c collPrims, algo AllReduceAlgo, bytes float64) {
+	p := c.Size()
 	if p == 1 {
 		return
 	}
 	switch algo {
 	case AllReduceReduceBcast:
-		r.reduceTree(0, bytes)
-		r.bcastTree(0, bytes)
+		reduceTree(c, 0, bytes)
+		bcastTree(c, 0, bytes)
 	case AllReduceRing:
 		// Reduce-scatter then allgather around the ring; each of the
 		// 2(P-1) steps moves one bytes/P chunk.
 		chunk := bytes / float64(p)
-		next := (r.rank + 1) % p
-		prev := (r.rank - 1 + p) % p
+		next := (c.Rank() + 1) % p
+		prev := (c.Rank() - 1 + p) % p
 		for step := 0; step < 2*(p-1); step++ {
-			r.sendRecvColl(next, chunk, prev)
+			c.sendRecvColl(next, chunk, prev)
 		}
 	default:
-		r.allReduceRDB(bytes)
+		allReduceRDB(c, bytes)
 	}
 }

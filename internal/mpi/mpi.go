@@ -58,18 +58,18 @@ func (c ModelConfig) eagerThreshold() float64 {
 }
 
 // World is an MPI communicator bound to a set of hosts (rank i runs on
-// hosts[i]). It pre-pins the per-pair mailboxes so eager transfers can start
-// before the receive is posted, which is the detached behaviour the paper
-// describes for real MPI runtimes.
+// hosts[i]). Its two pair-mailbox namespaces — application ("p") and
+// collective ("c") — are pinned to the destination hosts so eager transfers
+// can start before the receive is posted, which is the detached behaviour
+// the paper describes for real MPI runtimes. Pair spaces replace the
+// historical per-pair name precomputation, whose O(P²) strings and pin map
+// entries dominated memory at thousands of ranks.
 type World struct {
 	engine *sim.Engine
 	hosts  []*sim.Host
 	cfg    ModelConfig
-	// Per-pair mailbox names, precomputed once: formatting them on every
-	// send/recv shows up as a top cost in large replays (an alltoall does
-	// O(P²) sends, each historically paying two fmt.Sprintf calls).
-	p2pNames  [][]string
-	collNames [][]string
+	p2p    *sim.PairSpace
+	coll   *sim.PairSpace
 }
 
 // NewWorld creates a communicator of len(hosts) ranks.
@@ -83,29 +83,14 @@ func NewWorld(engine *sim.Engine, hosts []*sim.Host, cfg ModelConfig) (*World, e
 		}
 	}
 	w := &World{engine: engine, hosts: hosts, cfg: cfg}
-	// Pin every directed pair mailbox, for both the application ("p") and
-	// collective ("c") namespaces, to the destination host.
-	w.p2pNames = make([][]string, len(hosts))
-	w.collNames = make([][]string, len(hosts))
-	for src := range hosts {
-		w.p2pNames[src] = make([]string, len(hosts))
-		w.collNames[src] = make([]string, len(hosts))
-		for dst := range hosts {
-			if src == dst {
-				continue
-			}
-			w.p2pNames[src][dst] = p2pMailbox(src, dst)
-			w.collNames[src][dst] = collMailbox(src, dst)
-			engine.PinMailbox(w.p2pNames[src][dst], hosts[dst])
-			engine.PinMailbox(w.collNames[src][dst], hosts[dst])
-		}
-	}
+	w.p2p = engine.NewPairSpace("p", hosts)
+	w.coll = engine.NewPairSpace("c", hosts)
 	return w, nil
 }
 
-// p2p and coll return the precomputed mailbox names for a directed pair.
-func (w *World) p2p(src, dst int) string  { return w.p2pNames[src][dst] }
-func (w *World) coll(src, dst int) string { return w.collNames[src][dst] }
+// p2pBox and collBox return the pair mailboxes for a directed pair.
+func (w *World) p2pBox(src, dst int) sim.Mbox  { return w.p2p.Box(src, dst) }
+func (w *World) collBox(src, dst int) sim.Mbox { return w.coll.Box(src, dst) }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.hosts) }
@@ -132,8 +117,14 @@ func (w *World) Spawn(rank int, body func(*Rank)) *Rank {
 	return r
 }
 
-func p2pMailbox(src, dst int) string  { return fmt.Sprintf("p:%d>%d", src, dst) }
-func collMailbox(src, dst int) string { return fmt.Sprintf("c:%d>%d", src, dst) }
+// SpawnProg starts one rank as a continuation program fed by feed; see
+// TaskRank for the compiler producing such feeds.
+func (w *World) SpawnProg(rank int, feed sim.Feed) {
+	if rank < 0 || rank >= len(w.hosts) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(w.hosts)))
+	}
+	w.engine.SpawnProg(fmt.Sprintf("rank%d", rank), w.hosts[rank], feed)
+}
 
 // Rank is one MPI process.
 type Rank struct {

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"tireplay/internal/sim"
+)
 
 // Send sends bytes to rank dst with MPI_Send semantics under the configured
 // model: below the eager threshold the call returns after the local costs
@@ -14,10 +18,10 @@ func (r *Rank) Send(dst int, bytes float64) {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(r.world.p2p(r.rank, dst), bytes, nil)
+		r.proc.PutDetachedBox(r.world.p2pBox(r.rank, dst), bytes, nil)
 		return
 	}
-	r.proc.Put(r.world.p2p(r.rank, dst), bytes)
+	r.proc.PutBox(r.world.p2pBox(r.rank, dst), bytes)
 }
 
 // Isend is the nonblocking send. Eager messages complete immediately (the
@@ -31,17 +35,17 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(r.world.p2p(r.rank, dst), bytes, nil)
+		r.proc.PutDetachedBox(r.world.p2pBox(r.rank, dst), bytes, nil)
 		return &Request{}
 	}
-	return &Request{comm: r.proc.PutAsync(r.world.p2p(r.rank, dst), bytes)}
+	return &Request{comm: r.proc.PutAsyncBox(r.world.p2pBox(r.rank, dst), bytes)}
 }
 
 // Recv blocks until a message from src has fully arrived.
 func (r *Rank) Recv(src int) {
 	r.checkPeer(src, "Recv")
 	cfg := r.world.cfg
-	r.proc.Get(r.world.p2p(src, r.rank))
+	r.proc.GetBox(r.world.p2pBox(src, r.rank))
 	if cfg.RecvOverhead > 0 {
 		r.proc.Sleep(cfg.RecvOverhead)
 	}
@@ -50,7 +54,7 @@ func (r *Rank) Recv(src int) {
 // Irecv posts a nonblocking receive from src.
 func (r *Rank) Irecv(src int) *Request {
 	r.checkPeer(src, "Irecv")
-	return &Request{comm: r.proc.GetAsync(r.world.p2p(src, r.rank))}
+	return &Request{comm: r.proc.GetAsyncBox(r.world.p2pBox(src, r.rank))}
 }
 
 // Wait blocks until the request completes.
@@ -106,7 +110,11 @@ func (r *Rank) checkPeer(peer int, op string) {
 // sendColl/recvColl are the internal p2p operations used by collectives;
 // they use the dedicated collective mailbox namespace so tree messages never
 // interleave with application messages, and follow the same eager/rendezvous
-// protocol rules.
+// protocol rules. Together with sendRecvColl and putColl they form the
+// collPrims primitive set the shared collective algorithms (coll.go) are
+// written against; the continuation compiler (task.go) implements the same
+// set by emitting the equivalent micro-ops, which is what guarantees both
+// execution modes produce identical message schedules.
 func (r *Rank) sendColl(dst int, bytes float64) {
 	cfg := r.world.cfg
 	if cfg.SendOverhead > 0 {
@@ -114,37 +122,41 @@ func (r *Rank) sendColl(dst int, bytes float64) {
 	}
 	if bytes < cfg.eagerThreshold() {
 		r.eagerCopy(bytes)
-		r.proc.PutDetached(r.world.coll(r.rank, dst), bytes, nil)
+		r.proc.PutDetachedBox(r.world.collBox(r.rank, dst), bytes, nil)
 		return
 	}
-	r.proc.Put(r.world.coll(r.rank, dst), bytes)
-}
-
-func (r *Rank) isendColl(dst int, bytes float64) *Request {
-	cfg := r.world.cfg
-	if cfg.SendOverhead > 0 {
-		r.proc.Sleep(cfg.SendOverhead)
-	}
-	if bytes < cfg.eagerThreshold() {
-		r.eagerCopy(bytes)
-		r.proc.PutDetached(r.world.coll(r.rank, dst), bytes, nil)
-		return &Request{}
-	}
-	return &Request{comm: r.proc.PutAsync(r.world.coll(r.rank, dst), bytes)}
+	r.proc.PutBox(r.world.collBox(r.rank, dst), bytes)
 }
 
 func (r *Rank) recvColl(src int) {
 	cfg := r.world.cfg
-	r.proc.Get(r.world.coll(src, r.rank))
+	r.proc.GetBox(r.world.collBox(src, r.rank))
 	if cfg.RecvOverhead > 0 {
 		r.proc.Sleep(cfg.RecvOverhead)
 	}
 }
 
 func (r *Rank) sendRecvColl(dst int, bytes float64, src int) {
-	req := r.isendColl(dst, bytes)
-	r.recvColl(src)
-	if req.comm != nil {
-		r.proc.WaitComm(req.comm)
+	cfg := r.world.cfg
+	if cfg.SendOverhead > 0 {
+		r.proc.Sleep(cfg.SendOverhead)
 	}
+	var comm *sim.Comm
+	if bytes < cfg.eagerThreshold() {
+		r.eagerCopy(bytes)
+		r.proc.PutDetachedBox(r.world.collBox(r.rank, dst), bytes, nil)
+	} else {
+		comm = r.proc.PutAsyncBox(r.world.collBox(r.rank, dst), bytes)
+	}
+	r.recvColl(src)
+	if comm != nil {
+		r.proc.WaitComm(comm)
+	}
+}
+
+// putColl is a fully blocking send on the collective namespace, bypassing
+// the eager/rendezvous protocol split: the chain broadcast's head uses it to
+// pace segment injection.
+func (r *Rank) putColl(dst int, bytes float64) {
+	r.proc.PutBox(r.world.collBox(r.rank, dst), bytes)
 }

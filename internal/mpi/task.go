@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+
+	"tireplay/internal/sim"
+)
+
+// TaskRank is the continuation-mode counterpart of Rank: instead of executing
+// MPI calls on a goroutine-backed process, it compiles each call into sim
+// micro-ops appended to a Prog, which the engine interprets inline from the
+// event loop. The emitters are line-for-line lowerings of the Rank methods in
+// p2p.go — same protocol split, same sleeps, same mailboxes, in the same
+// order — and the collectives are the very same algorithm functions
+// (coll.go), driven through the collPrims interface. That is what makes the
+// two modes produce bit-identical simulated times.
+//
+// Register convention: register 0 holds the send side of a blocking or
+// exchanged operation, register 1 the receive side. Both are always waited
+// and released within the action that allocated them; only the pending FIFO
+// (Isend/Irecv) crosses actions.
+type TaskRank struct {
+	world *World
+	rank  int
+	prog  *sim.Prog // program currently being emitted into
+}
+
+// TaskRank returns the compiler for one rank.
+func (w *World) TaskRank(rank int) *TaskRank {
+	if rank < 0 || rank >= len(w.hosts) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(w.hosts)))
+	}
+	return &TaskRank{world: w, rank: rank}
+}
+
+// Rank returns the compiled rank's index.
+func (tr *TaskRank) Rank() int { return tr.rank }
+
+// Size returns the communicator size.
+func (tr *TaskRank) Size() int { return tr.world.Size() }
+
+func (tr *TaskRank) bind(p *sim.Prog) { tr.prog = p }
+
+// Compute compiles Rank.Compute.
+func (tr *TaskRank) Compute(p *sim.Prog, instr float64) {
+	p.Exec(instr)
+}
+
+// Send compiles Rank.Send: eager sends detach after the local costs,
+// rendezvous sends block until the transfer completes.
+func (tr *TaskRank) Send(p *sim.Prog, dst int, bytes float64) {
+	tr.bind(p)
+	tr.checkPeer(dst, "Send")
+	tr.emitSend(tr.world.p2pBox(tr.rank, dst), bytes)
+}
+
+// Isend compiles Rank.Isend onto the pending FIFO. Eager sends push an
+// already-done placeholder so trace waits stay FIFO-aligned.
+func (tr *TaskRank) Isend(p *sim.Prog, dst int, bytes float64) {
+	tr.bind(p)
+	tr.checkPeer(dst, "Isend")
+	cfg := tr.world.cfg
+	if cfg.SendOverhead > 0 {
+		p.Sleep(cfg.SendOverhead)
+	}
+	box := tr.world.p2pBox(tr.rank, dst)
+	if bytes < cfg.eagerThreshold() {
+		tr.emitEagerCopy(bytes)
+		p.PutDetached(box, bytes)
+		p.PushPendingDone()
+		return
+	}
+	p.PutPending(box, bytes)
+}
+
+// Recv compiles Rank.Recv.
+func (tr *TaskRank) Recv(p *sim.Prog, src int) {
+	tr.bind(p)
+	tr.checkPeer(src, "Recv")
+	tr.emitRecv(tr.world.p2pBox(src, tr.rank))
+}
+
+// Irecv compiles Rank.Irecv onto the pending FIFO.
+func (tr *TaskRank) Irecv(p *sim.Prog, src int) {
+	tr.bind(p)
+	tr.checkPeer(src, "Irecv")
+	p.GetPending(tr.world.p2pBox(src, tr.rank))
+}
+
+// Barrier compiles Rank.Barrier.
+func (tr *TaskRank) Barrier(p *sim.Prog) {
+	tr.bind(p)
+	barrierColl(tr)
+}
+
+// Bcast compiles Rank.Bcast with the configured algorithm.
+func (tr *TaskRank) Bcast(p *sim.Prog, bytes float64, root int) {
+	tr.bind(p)
+	bcastWithColl(tr, tr.world.cfg.Bcast, bytes, root)
+}
+
+// Reduce compiles Rank.Reduce.
+func (tr *TaskRank) Reduce(p *sim.Prog, bytes float64, root int) {
+	tr.bind(p)
+	checkRootColl(tr, root, "Reduce")
+	reduceTree(tr, root, bytes)
+}
+
+// AllReduce compiles Rank.AllReduce with the configured algorithm.
+func (tr *TaskRank) AllReduce(p *sim.Prog, bytes float64) {
+	tr.bind(p)
+	allReduceWithColl(tr, tr.world.cfg.AllReduce, bytes)
+}
+
+// AllToAll compiles Rank.AllToAll.
+func (tr *TaskRank) AllToAll(p *sim.Prog, bytes float64) {
+	tr.bind(p)
+	alltoallPairwise(tr, bytes)
+}
+
+// Gather compiles Rank.Gather.
+func (tr *TaskRank) Gather(p *sim.Prog, bytes float64, root int) {
+	tr.bind(p)
+	checkRootColl(tr, root, "Gather")
+	gatherLinear(tr, bytes, root)
+}
+
+// AllGather compiles Rank.AllGather.
+func (tr *TaskRank) AllGather(p *sim.Prog, bytes float64) {
+	tr.bind(p)
+	allGatherRing(tr, bytes)
+}
+
+// emitSend lowers a blocking protocol send (Rank.Send body).
+func (tr *TaskRank) emitSend(box sim.Mbox, bytes float64) {
+	cfg := tr.world.cfg
+	if cfg.SendOverhead > 0 {
+		tr.prog.Sleep(cfg.SendOverhead)
+	}
+	if bytes < cfg.eagerThreshold() {
+		tr.emitEagerCopy(bytes)
+		tr.prog.PutDetached(box, bytes)
+		return
+	}
+	tr.prog.Put(box, bytes, 0)
+	tr.prog.WaitReg(0)
+}
+
+// emitRecv lowers a blocking receive (Rank.Recv body).
+func (tr *TaskRank) emitRecv(box sim.Mbox) {
+	cfg := tr.world.cfg
+	tr.prog.Get(box, 1)
+	tr.prog.WaitReg(1)
+	if cfg.RecvOverhead > 0 {
+		tr.prog.Sleep(cfg.RecvOverhead)
+	}
+}
+
+// emitEagerCopy lowers Rank.eagerCopy.
+func (tr *TaskRank) emitEagerCopy(bytes float64) {
+	cfg := tr.world.cfg
+	if cfg.MemcpyBandwidth > 0 {
+		tr.prog.Sleep(cfg.MemcpyLatency + bytes/cfg.MemcpyBandwidth)
+	}
+}
+
+// collPrims implementation: the same algorithms in coll.go drive these
+// compile-time emitters.
+
+func (tr *TaskRank) sendColl(dst int, bytes float64) {
+	tr.emitSend(tr.world.collBox(tr.rank, dst), bytes)
+}
+
+func (tr *TaskRank) recvColl(src int) {
+	tr.emitRecv(tr.world.collBox(src, tr.rank))
+}
+
+func (tr *TaskRank) sendRecvColl(dst int, bytes float64, src int) {
+	cfg := tr.world.cfg
+	if cfg.SendOverhead > 0 {
+		tr.prog.Sleep(cfg.SendOverhead)
+	}
+	rendezvous := bytes >= cfg.eagerThreshold()
+	if rendezvous {
+		tr.prog.Put(tr.world.collBox(tr.rank, dst), bytes, 0)
+	} else {
+		tr.emitEagerCopy(bytes)
+		tr.prog.PutDetached(tr.world.collBox(tr.rank, dst), bytes)
+	}
+	tr.recvColl(src)
+	if rendezvous {
+		tr.prog.WaitReg(0)
+	}
+}
+
+func (tr *TaskRank) putColl(dst int, bytes float64) {
+	tr.prog.Put(tr.world.collBox(tr.rank, dst), bytes, 0)
+	tr.prog.WaitReg(0)
+}
+
+func (tr *TaskRank) checkPeer(peer int, op string) {
+	if peer < 0 || peer >= tr.world.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: %s peer %d outside communicator of size %d",
+			tr.rank, op, peer, tr.world.Size()))
+	}
+	if peer == tr.rank {
+		panic(fmt.Sprintf("mpi: rank %d: %s to self is not supported by the replay model", tr.rank, op))
+	}
+}

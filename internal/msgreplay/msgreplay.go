@@ -53,11 +53,12 @@ type World struct {
 	hosts   []*sim.Host
 	cfg     Config
 	barrier *sim.Barrier
+	pairs   *sim.PairSpace
 }
 
-// NewWorld creates a replay context for len(hosts) ranks. Mailboxes are
-// deliberately not pinned: MSG transfers start only when both sides are
-// present, which is the modelling deficiency the paper fixes.
+// NewWorld creates a replay context for len(hosts) ranks. The pair mailbox
+// space is deliberately not pinned: MSG transfers start only when both sides
+// are present, which is the modelling deficiency the paper fixes.
 func NewWorld(engine *sim.Engine, hosts []*sim.Host, cfg Config) (*World, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("msgreplay: empty host list")
@@ -70,6 +71,7 @@ func NewWorld(engine *sim.Engine, hosts []*sim.Host, cfg Config) (*World, error)
 		hosts:   hosts,
 		cfg:     cfg,
 		barrier: engine.NewBarrier(len(hosts)),
+		pairs:   engine.NewPairSpace("m", nil),
 	}, nil
 }
 
@@ -86,7 +88,16 @@ func (w *World) Spawn(rank int, body func(*Rank)) {
 	})
 }
 
-func mbName(src, dst int) string { return fmt.Sprintf("m:%d>%d", src, dst) }
+// SpawnProg starts one rank as a continuation program; see TaskRank for the
+// compiler producing such feeds.
+func (w *World) SpawnProg(rank int, feed sim.Feed) {
+	if rank < 0 || rank >= len(w.hosts) {
+		panic(fmt.Sprintf("msgreplay: rank %d out of range [0,%d)", rank, len(w.hosts)))
+	}
+	w.engine.SpawnProg(fmt.Sprintf("msg-rank%d", rank), w.hosts[rank], feed)
+}
+
+func (w *World) box(src, dst int) sim.Mbox { return w.pairs.Box(src, dst) }
 
 // Rank is one replayed process under the MSG backend.
 type Rank struct {
@@ -109,28 +120,28 @@ func (r *Rank) Compute(instr float64) { r.proc.Execute(instr) }
 // match time); at or above it, a blocking task send.
 func (r *Rank) Send(dst int, bytes float64) {
 	if bytes < r.world.cfg.eagerThreshold() {
-		r.proc.PutAsync(mbName(r.rank, dst), bytes)
+		r.proc.PutAsyncBox(r.world.box(r.rank, dst), bytes)
 		return
 	}
-	r.proc.Put(mbName(r.rank, dst), bytes)
+	r.proc.PutBox(r.world.box(r.rank, dst), bytes)
 }
 
 // Isend posts an asynchronous send and returns the underlying comm so that
 // explicit isend/wait trace pairs stay balanced.
 func (r *Rank) Isend(dst int, bytes float64) *sim.Comm {
-	return r.proc.PutAsync(mbName(r.rank, dst), bytes)
+	return r.proc.PutAsyncBox(r.world.box(r.rank, dst), bytes)
 }
 
 // Recv blocks until a message from src is fully received; with unpinned
 // mailboxes this always pays the full latency + size/bandwidth from match
 // time, the root cause of the linearly growing error of Figure 3.
 func (r *Rank) Recv(src int) {
-	r.proc.Get(mbName(src, r.rank))
+	r.proc.GetBox(r.world.box(src, r.rank))
 }
 
 // Irecv posts an asynchronous receive.
 func (r *Rank) Irecv(src int) *sim.Comm {
-	return r.proc.GetAsync(mbName(src, r.rank))
+	return r.proc.GetAsyncBox(r.world.box(src, r.rank))
 }
 
 // Wait blocks on an asynchronous receive.

@@ -1,0 +1,103 @@
+package msgreplay
+
+import (
+	"fmt"
+
+	"tireplay/internal/sim"
+)
+
+// TaskRank compiles one rank's MSG-style replay calls into sim micro-ops,
+// mirroring the Rank methods op for op: the same mailbox space, the same
+// eager/blocking split, the same shared barrier and monolithic collective
+// formulas. Registers: 0 for blocking sends, 1 for blocking receives; the
+// pending FIFO carries isend/irecv across actions.
+type TaskRank struct {
+	world *World
+	rank  int
+}
+
+// TaskRank returns the compiler for one rank.
+func (w *World) TaskRank(rank int) *TaskRank {
+	if rank < 0 || rank >= len(w.hosts) {
+		panic(fmt.Sprintf("msgreplay: rank %d out of range [0,%d)", rank, len(w.hosts)))
+	}
+	return &TaskRank{world: w, rank: rank}
+}
+
+// Rank returns the compiled rank's index.
+func (tr *TaskRank) Rank() int { return tr.rank }
+
+// Compute compiles Rank.Compute.
+func (tr *TaskRank) Compute(p *sim.Prog, instr float64) {
+	p.Exec(instr)
+}
+
+// Send compiles Rank.Send: small messages are fire-and-forget asynchronous
+// sends, large ones block.
+func (tr *TaskRank) Send(p *sim.Prog, dst int, bytes float64) {
+	if bytes < tr.world.cfg.eagerThreshold() {
+		p.PutDiscard(tr.world.box(tr.rank, dst), bytes)
+		return
+	}
+	p.Put(tr.world.box(tr.rank, dst), bytes, 0)
+	p.WaitReg(0)
+}
+
+// Isend compiles Rank.Isend onto the pending FIFO.
+func (tr *TaskRank) Isend(p *sim.Prog, dst int, bytes float64) {
+	p.PutPending(tr.world.box(tr.rank, dst), bytes)
+}
+
+// Recv compiles Rank.Recv.
+func (tr *TaskRank) Recv(p *sim.Prog, src int) {
+	p.Get(tr.world.box(src, tr.rank), 1)
+	p.WaitReg(1)
+}
+
+// Irecv compiles Rank.Irecv onto the pending FIFO.
+func (tr *TaskRank) Irecv(p *sim.Prog, src int) {
+	p.GetPending(tr.world.box(src, tr.rank))
+}
+
+// collective compiles Rank.collective: synchronize, then charge d.
+func (tr *TaskRank) collective(p *sim.Prog, d float64) {
+	p.Await(tr.world.barrier)
+	if d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Barrier compiles Rank.Barrier.
+func (tr *TaskRank) Barrier(p *sim.Prog) {
+	tr.collective(p, tr.world.log2ceil()*tr.world.cfg.RefLatency)
+}
+
+// Bcast compiles Rank.Bcast.
+func (tr *TaskRank) Bcast(p *sim.Prog, bytes float64, root int) {
+	tr.collective(p, tr.world.log2ceil()*tr.world.perHop(bytes))
+}
+
+// Reduce compiles Rank.Reduce.
+func (tr *TaskRank) Reduce(p *sim.Prog, bytes float64, root int) {
+	tr.collective(p, tr.world.log2ceil()*tr.world.perHop(bytes))
+}
+
+// AllReduce compiles Rank.AllReduce.
+func (tr *TaskRank) AllReduce(p *sim.Prog, bytes float64) {
+	tr.collective(p, 2*tr.world.log2ceil()*tr.world.perHop(bytes))
+}
+
+// AllToAll compiles Rank.AllToAll.
+func (tr *TaskRank) AllToAll(p *sim.Prog, bytes float64) {
+	tr.collective(p, float64(tr.world.Size()-1)*tr.world.perHop(bytes))
+}
+
+// Gather compiles Rank.Gather.
+func (tr *TaskRank) Gather(p *sim.Prog, bytes float64, root int) {
+	tr.collective(p, float64(tr.world.Size()-1)*tr.world.perHop(bytes))
+}
+
+// AllGather compiles Rank.AllGather.
+func (tr *TaskRank) AllGather(p *sim.Prog, bytes float64) {
+	tr.collective(p, float64(tr.world.Size()-1)*tr.world.perHop(bytes))
+}

@@ -22,7 +22,7 @@ type Platform struct {
 	hosts   []*sim.Host
 	byName  map[string]*sim.Host
 	links   []*sim.Link
-	routeFn func(src, dst *sim.Host) sim.Route
+	routeFn func(buf []*sim.Link, src, dst *sim.Host) sim.Route
 
 	// LoopbackLatency is the latency of a host talking to itself (intra-node
 	// communication); such routes cross no link.
@@ -50,10 +50,17 @@ func (p *Platform) Size() int { return len(p.hosts) }
 
 // Route implements sim.Router.
 func (p *Platform) Route(src, dst *sim.Host) sim.Route {
+	return p.RouteInto(nil, src, dst)
+}
+
+// RouteInto implements sim.RouterInto: the route's links are appended to
+// buf, so the engine can reuse one buffer per transfer slot instead of
+// allocating a slice on every routing call.
+func (p *Platform) RouteInto(buf []*sim.Link, src, dst *sim.Host) sim.Route {
 	if src == dst {
-		return sim.Route{Latency: p.LoopbackLatency}
+		return sim.Route{Links: buf, Latency: p.LoopbackLatency}
 	}
-	return p.routeFn(src, dst)
+	return p.routeFn(buf, src, dst)
 }
 
 // SetSpeed sets the compute rate of every host, in instructions per second.
@@ -117,14 +124,14 @@ func NewFlatCluster(cfg FlatConfig) (*Platform, error) {
 		p.links = append(p.links, l)
 		private[h] = l
 	}
-	p.routeFn = func(src, dst *sim.Host) sim.Route {
+	p.routeFn = func(buf []*sim.Link, src, dst *sim.Host) sim.Route {
 		ls, ok1 := private[src]
 		ld, ok2 := private[dst]
 		if !ok1 || !ok2 {
 			panic(fmt.Sprintf("platform %s: route between foreign hosts %s and %s", cfg.Name, src, dst))
 		}
 		return sim.Route{
-			Links:   []*sim.Link{ls, backbone, ld},
+			Links:   append(buf, ls, backbone, ld),
 			Latency: ls.Latency + backbone.Latency + ld.Latency,
 		}
 	}
@@ -184,14 +191,14 @@ func NewCrossbarCluster(cfg CrossbarConfig) (*Platform, error) {
 		p.links = append(p.links, up, down)
 		links[h] = ports{up, down}
 	}
-	p.routeFn = func(src, dst *sim.Host) sim.Route {
+	p.routeFn = func(buf []*sim.Link, src, dst *sim.Host) sim.Route {
 		ls, ok1 := links[src]
 		ld, ok2 := links[dst]
 		if !ok1 || !ok2 {
 			panic(fmt.Sprintf("platform %s: route between foreign hosts %s and %s", cfg.Name, src, dst))
 		}
 		return sim.Route{
-			Links:   []*sim.Link{ls.up, ld.down},
+			Links:   append(buf, ls.up, ld.down),
 			Latency: ls.up.Latency + ld.down.Latency,
 		}
 	}
@@ -274,7 +281,7 @@ func NewHierarchicalCluster(cfg HierConfig) (*Platform, error) {
 			nodes[h] = nodeInfo{private: l, cabinet: c}
 		}
 	}
-	p.routeFn = func(src, dst *sim.Host) sim.Route {
+	p.routeFn = func(buf []*sim.Link, src, dst *sim.Host) sim.Route {
 		ns, ok1 := nodes[src]
 		nd, ok2 := nodes[dst]
 		if !ok1 || !ok2 {
@@ -283,11 +290,11 @@ func NewHierarchicalCluster(cfg HierConfig) (*Platform, error) {
 		if ns.cabinet == nd.cabinet {
 			sw := cabSwitch[ns.cabinet]
 			return sim.Route{
-				Links:   []*sim.Link{ns.private, sw, nd.private},
+				Links:   append(buf, ns.private, sw, nd.private),
 				Latency: ns.private.Latency + sw.Latency + nd.private.Latency,
 			}
 		}
-		links := []*sim.Link{ns.private, cabUp[ns.cabinet], backbone, cabUp[nd.cabinet], nd.private}
+		links := append(buf, ns.private, cabUp[ns.cabinet], backbone, cabUp[nd.cabinet], nd.private)
 		lat := 0.0
 		for _, l := range links {
 			lat += l.Latency
@@ -364,3 +371,4 @@ func (m *PiecewiseModel) Effective(route sim.Route, size float64) (latency, rate
 
 var _ sim.NetworkModel = (*PiecewiseModel)(nil)
 var _ sim.Router = (*Platform)(nil)
+var _ sim.RouterInto = (*Platform)(nil)

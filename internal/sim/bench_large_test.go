@@ -57,13 +57,56 @@ func runLargeAlltoAll(b *testing.B, ranks int, opts ...sim.Option) sim.Stats {
 	return e.Stats()
 }
 
-// BenchmarkLargeAlltoAll measures the fluid-network hot path at scale:
-// a desynchronized 128- and 256-rank alltoall under the incremental
-// per-component solver, and the same workload with the from-scratch solver
-// the kernel historically ran on every flow change. The flows-resolved
-// metric shows why the gap widens with rank count: the incremental solver
-// re-solves a near-constant handful of flows per recompute while the
-// from-scratch pass re-solves every active flow.
+// runLargeAlltoAllTask is the continuation-mode twin of runLargeAlltoAll:
+// each rank is compiled, one exchange per feed call, into the micro-op
+// equivalent of SendRecv (isend + recv + wait) through the mpi TaskRank
+// compiler — the same schedule, with no goroutine stacks or resume channels.
+func runLargeAlltoAllTask(b *testing.B, ranks int) sim.Stats {
+	b.Helper()
+	plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+		Name: "xbar", Hosts: ranks, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(plat)
+	w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		me := rank
+		tr := w.TaskRank(rank)
+		i := 0
+		w.SpawnProg(rank, func(p *sim.Prog) (bool, error) {
+			if i++; i >= ranks {
+				return false, nil
+			}
+			dst := (me + i) % ranks
+			src := (me - i + ranks) % ranks
+			tr.Isend(p, dst, alltoallSize(me, dst, ranks))
+			tr.Recv(p, src)
+			p.WaitPending()
+			return true, nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return e.Stats()
+}
+
+// BenchmarkLargeAlltoAll measures the kernel hot paths at scale on a
+// desynchronized alltoall. At 128/256 ranks it compares the incremental
+// per-component sharing solver against the historical from-scratch pass (the
+// flows-resolved metric shows why the gap widens: the incremental solver
+// re-solves a near-constant handful of flows per recompute). At 1024 ranks it
+// compares the two schedulers head to head — goroutine-per-rank versus
+// continuation state machines — and at 4096 ranks it runs the continuation
+// kernel alone: the goroutine scheduler's per-rank stacks and channel
+// handoffs make that size unpleasant on a laptop, which is precisely the
+// scaling wall the continuation rework removes.
 func BenchmarkLargeAlltoAll(b *testing.B) {
 	for _, ranks := range []int{128, 256} {
 		for _, mode := range []struct {
@@ -81,6 +124,94 @@ func BenchmarkLargeAlltoAll(b *testing.B) {
 				b.ReportMetric(float64(st.FlowsResolved)/float64(st.ShareRecomputes), "flows-resolved/recompute")
 			})
 		}
+	}
+	for _, sc := range []struct {
+		ranks      int
+		goroutines bool
+	}{
+		{1024, true},
+		{1024, false},
+		{4096, false},
+	} {
+		name := "continuation"
+		if sc.goroutines {
+			name = "goroutine"
+		}
+		b.Run(fmt.Sprintf("ranks=%d/%s", sc.ranks, name), func(b *testing.B) {
+			var st sim.Stats
+			for i := 0; i < b.N; i++ {
+				if sc.goroutines {
+					st = runLargeAlltoAll(b, sc.ranks)
+				} else {
+					st = runLargeAlltoAllTask(b, sc.ranks)
+				}
+			}
+			b.ReportMetric(float64(st.ContextSwitches), "context-switches")
+		})
+	}
+}
+
+// TestLargeAlltoAllSchedulersAgree is the correctness companion of the
+// scheduler benchmark: on the same workload, goroutine and continuation
+// execution must agree bit-identically on end time and on every engine
+// counter.
+func TestLargeAlltoAllSchedulersAgree(t *testing.T) {
+	ranks := 48
+	if testing.Short() {
+		ranks = 16
+	}
+	run := func(continuation bool) (float64, sim.Stats) {
+		plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+			Name: "xbar", Hosts: ranks, Speed: 1e9,
+			LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.NewEngine(plat)
+		w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < ranks; rank++ {
+			me := rank
+			if continuation {
+				tr := w.TaskRank(rank)
+				i := 0
+				w.SpawnProg(rank, func(p *sim.Prog) (bool, error) {
+					if i++; i >= ranks {
+						return false, nil
+					}
+					dst := (me + i) % ranks
+					src := (me - i + ranks) % ranks
+					tr.Isend(p, dst, alltoallSize(me, dst, ranks))
+					tr.Recv(p, src)
+					p.WaitPending()
+					return true, nil
+				})
+			} else {
+				w.Spawn(rank, func(r *mpi.Rank) {
+					p := r.Size()
+					for i := 1; i < p; i++ {
+						dst := (me + i) % p
+						src := (me - i + p) % p
+						r.SendRecv(dst, alltoallSize(me, dst, p), src)
+					}
+				})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Stats()
+	}
+	endC, statsC := run(true)
+	endG, statsG := run(false)
+	if endC != endG {
+		t.Fatalf("end time %v (continuation) != %v (goroutine)", endC, endG)
+	}
+	if statsC != statsG {
+		t.Fatalf("stats diverge:\n continuation: %+v\n goroutine:    %+v", statsC, statsG)
 	}
 }
 

@@ -2,21 +2,42 @@ package sim
 
 import "testing"
 
-// BenchmarkContextSwitch measures the lockstep scheduler handoff: two
-// processes alternating through zero-duration sleeps.
+// BenchmarkContextSwitch measures the scheduler handoff — one process
+// resumed through a long run of short sleeps — under both schedulers: the
+// goroutine path pays two channel operations and a stack switch per resume,
+// the continuation path a direct function call into the state machine.
 func BenchmarkContextSwitch(b *testing.B) {
-	e := NewEngine(pairRouter{&Link{Bandwidth: 1e9, Latency: 0}})
-	h := &Host{Name: "h", Speed: 1e9}
-	n := b.N
-	e.Spawn("p", h, func(p *Proc) {
-		for i := 0; i < n; i++ {
-			p.Sleep(1e-9)
+	b.Run("goroutine", func(b *testing.B) {
+		e := NewEngine(pairRouter{&Link{Bandwidth: 1e9, Latency: 0}})
+		h := &Host{Name: "h", Speed: 1e9}
+		n := b.N
+		e.Spawn("p", h, func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(1e-9)
+			}
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
 		}
 	})
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
-		b.Fatal(err)
-	}
+	b.Run("continuation", func(b *testing.B) {
+		e := NewEngine(pairRouter{&Link{Bandwidth: 1e9, Latency: 0}})
+		h := &Host{Name: "h", Speed: 1e9}
+		n := b.N
+		i := 0
+		e.SpawnProg("p", h, func(p *Prog) (bool, error) {
+			if i++; i > n {
+				return false, nil
+			}
+			p.Sleep(1e-9)
+			return true, nil
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkPingPong measures matched send/recv pairs between two hosts.

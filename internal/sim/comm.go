@@ -40,8 +40,6 @@ func (s CommState) String() string {
 type Comm struct {
 	// ID is a unique, monotonically increasing identifier (deterministic).
 	ID int64
-	// Mailbox is the rendezvous point name this comm was matched on.
-	Mailbox string
 	// Size is the payload size in bytes.
 	Size float64
 	// Payload is an arbitrary value carried from sender to receiver.
@@ -51,12 +49,18 @@ type Comm struct {
 	// time of a copy of the data in the memory").
 	Detached bool
 
+	// box identifies the mailbox this comm was posted on; the name is
+	// materialized lazily (Mailbox) so rank-pair transfers never allocate a
+	// string on the hot path.
+	box        Mbox
 	src, dst   *Host
 	sender     *Proc // nil once detached
 	receiver   *Proc // nil until recv posted
 	state      CommState
 	hasSend    bool
 	hasRecv    bool
+	queued     bool // sitting in a mailbox send/recv queue
+	refs       int32
 	fl         *flow
 	engine     *Engine
 	waiters    []*Proc
@@ -65,9 +69,13 @@ type Comm struct {
 
 	// flowStore is the comm's fluid stage, embedded to avoid a separate
 	// allocation per transfer; fl points at it while flowing. waiterBuf
-	// similarly backs waiters for the common one-or-two-waiter case.
+	// similarly backs waiters for the common one-or-two-waiter case, and
+	// linkBuf backs the route's link list when the router supports
+	// RouterInto. All three survive recycling, so a pooled comm's transfers
+	// stop allocating once the buffers have grown to their steady size.
 	flowStore flow
 	waiterBuf [2]*Proc
+	linkBuf   []*Link
 }
 
 // State returns the comm's lifecycle state.
@@ -82,6 +90,12 @@ func (c *Comm) Src() *Host { return c.src }
 // Dst returns the receiving host (nil until the receive side is posted).
 func (c *Comm) Dst() *Host { return c.dst }
 
+// Mailbox returns the name of the rendezvous point this comm was matched
+// on. Pair-space names are formatted on demand: they exist only in
+// diagnostics, so the quadratically many rank pairs of a large replay never
+// pay for them.
+func (c *Comm) Mailbox() string { return c.engine.boxName(c.box) }
+
 // StartTime returns the simulated time at which the transfer started moving
 // (both sides matched), and FinishTime the time of full delivery. They are
 // meaningful only once the corresponding state has been reached.
@@ -90,52 +104,86 @@ func (c *Comm) StartTime() float64 { return c.startTime }
 // FinishTime returns the simulated completion time of the transfer.
 func (c *Comm) FinishTime() float64 { return c.finishTime }
 
-// mailbox is a named rendezvous point where sends and receives match in
-// FIFO order, as in SimGrid/SMPI.
-type mailbox struct {
-	name  string
-	sends []*Comm // posted sends not yet matched by a recv
-	recvs []*Comm // posted recvs not yet matched by a send
+// newComm hands out a Comm, recycling completed ones when the engine runs
+// in pooled (pure continuation) mode.
+func (e *Engine) newComm() *Comm {
+	if n := len(e.commPool); n > 0 {
+		c := e.commPool[n-1]
+		e.commPool[n-1] = nil
+		e.commPool = e.commPool[:n-1]
+		linkPos := c.flowStore.linkPos[:0]
+		lstates := c.flowStore.lstates[:0]
+		linkBuf := c.linkBuf[:0]
+		*c = Comm{engine: e}
+		c.flowStore.linkPos = linkPos
+		c.flowStore.lstates = lstates
+		c.linkBuf = linkBuf
+		return c
+	}
+	return &Comm{engine: e}
 }
 
-func (e *Engine) mailbox(name string) *mailbox {
-	mb, ok := e.mailboxes[name]
-	if !ok {
-		mb = &mailbox{name: name}
-		e.mailboxes[name] = mb
+// retain marks one more holder of c (a continuation machine register or
+// pending queue slot). Goroutine processes never retain, which keeps every
+// Comm they can still reference out of the pool.
+func (c *Comm) retain() { c.refs++ }
+
+// release drops one holder and recycles the comm if possible.
+func (c *Comm) release() {
+	c.refs--
+	c.maybeRecycle()
+}
+
+// maybeRecycle returns a comm to the engine pool once it is completed,
+// unreferenced, and out of every mailbox queue. Recycling is gated on the
+// engine running only continuation machines: arbitrary goroutine bodies may
+// legally hold a *Comm forever.
+func (c *Comm) maybeRecycle() {
+	e := c.engine
+	if !e.pooled || c.refs != 0 || c.queued || c.state != CommDone {
+		return
 	}
-	return mb
+	c.Payload = nil
+	c.sender, c.receiver = nil, nil
+	c.waiters = nil
+	c.waiterBuf = [2]*Proc{}
+	e.commPool = append(e.commPool, c)
 }
 
 // postSend registers a send on mailbox mb. If a receive is already waiting
 // the comm starts immediately; otherwise (or if detached) it is queued.
-func (e *Engine) postSend(mbName string, p *Proc, size float64, payload any, detached bool) *Comm {
-	mb := e.mailbox(mbName)
+func (e *Engine) postSend(mb *mailbox, p *Proc, size float64, payload any, detached bool) *Comm {
 	if len(mb.recvs) > 0 {
 		c := mb.recvs[0]
-		mb.recvs = mb.recvs[1:]
+		// Pop by shifting rather than re-slicing the head off: the slice keeps
+		// its base pointer, so the capacity survives reapBox's reset and the
+		// recycled mailbox appends without reallocating. Queues are almost
+		// always length one, so the copy is free.
+		n := copy(mb.recvs, mb.recvs[1:])
+		mb.recvs[n] = nil
+		mb.recvs = mb.recvs[:n]
+		c.queued = false
 		c.Size = size
 		c.Payload = payload
 		c.Detached = detached
 		c.src = p.Host
 		c.sender = p
 		c.hasSend = true
+		e.reapBox(mb)
 		e.startComm(c)
 		return c
 	}
 	e.commSeq++
-	c := &Comm{
-		ID:       e.commSeq,
-		Mailbox:  mbName,
-		Size:     size,
-		Payload:  payload,
-		Detached: detached,
-		src:      p.Host,
-		sender:   p,
-		hasSend:  true,
-		state:    CommPending,
-		engine:   e,
-	}
+	c := e.newComm()
+	c.ID = e.commSeq
+	c.box = mb.box
+	c.Size = size
+	c.Payload = payload
+	c.Detached = detached
+	c.src = p.Host
+	c.sender = p
+	c.hasSend = true
+	c.state = CommPending
 	if detached {
 		// A detached send needs no matching receive to start moving: the
 		// data is pushed toward the destination mailbox and buffered there.
@@ -144,26 +192,31 @@ func (e *Engine) postSend(mbName string, p *Proc, size float64, payload any, det
 		// protocol's behaviour — data travels immediately — we optimistically
 		// start the transfer toward the mailbox's pinned host if one is
 		// declared, and otherwise defer to match time.
-		if dst, ok := e.mailboxHosts[mbName]; ok {
+		if dst := e.pinnedHost(mb); dst != nil {
 			c.dst = dst
+			c.queued = true
 			mb.sends = append(mb.sends, c)
 			e.startComm(c)
 			return c
 		}
 	}
+	c.queued = true
 	mb.sends = append(mb.sends, c)
 	return c
 }
 
 // postRecv registers a receive on mailbox mb. If a send is waiting the comm
 // starts (or, for an in-flight detached send, is simply claimed).
-func (e *Engine) postRecv(mbName string, p *Proc) *Comm {
-	mb := e.mailbox(mbName)
+func (e *Engine) postRecv(mb *mailbox, p *Proc) *Comm {
 	if len(mb.sends) > 0 {
 		c := mb.sends[0]
-		mb.sends = mb.sends[1:]
+		n := copy(mb.sends, mb.sends[1:])
+		mb.sends[n] = nil
+		mb.sends = mb.sends[:n]
+		c.queued = false
 		c.receiver = p
 		c.hasRecv = true
+		e.reapBox(mb)
 		if c.state == CommPending {
 			c.dst = p.Host
 			e.startComm(c)
@@ -173,26 +226,16 @@ func (e *Engine) postRecv(mbName string, p *Proc) *Comm {
 		return c
 	}
 	e.commSeq++
-	c := &Comm{
-		ID:       e.commSeq,
-		Mailbox:  mbName,
-		dst:      p.Host,
-		receiver: p,
-		hasRecv:  true,
-		state:    CommPending,
-		engine:   e,
-	}
+	c := e.newComm()
+	c.ID = e.commSeq
+	c.box = mb.box
+	c.dst = p.Host
+	c.receiver = p
+	c.hasRecv = true
+	c.state = CommPending
+	c.queued = true
 	mb.recvs = append(mb.recvs, c)
 	return c
-}
-
-// PinMailbox declares that receives on mailbox name will always be posted
-// from host h. This lets detached (eager) sends start their transfer before
-// the receive is posted, which is exactly the behaviour the paper's SMPI
-// backend models for small messages. The MPI layer pins one mailbox per
-// (src,dst) pair at initialization.
-func (e *Engine) PinMailbox(name string, h *Host) {
-	e.mailboxHosts[name] = h
 }
 
 // startComm moves a matched (or detached-started) comm into its latency
@@ -201,7 +244,16 @@ func (e *Engine) startComm(c *Comm) {
 	if c.src == nil || c.dst == nil {
 		panic("sim: startComm with unresolved endpoints")
 	}
-	route := e.router.Route(c.src, c.dst)
+	var route Route
+	if e.routerInto != nil {
+		// The route's links land in the comm's own buffer, which outlives the
+		// flow (flowStore.links aliases it below) and is reused across
+		// recycles — no per-transfer route allocation.
+		route = e.routerInto.RouteInto(c.linkBuf[:0], c.src, c.dst)
+		c.linkBuf = route.Links
+	} else {
+		route = e.router.Route(c.src, c.dst)
+	}
 	for _, l := range route.Links {
 		if l.Bandwidth <= 0 {
 			e.fail(fmt.Errorf("sim: comm %d crosses link %s with non-positive bandwidth", c.ID, l.Name))
@@ -212,7 +264,9 @@ func (e *Engine) startComm(c *Comm) {
 	c.state = CommLatency
 	c.startTime = e.now
 	e.stats.CommsStarted++
-	c.flowStore = flow{comm: c, links: route.Links, cap: cap, rem: c.Size}
+	linkPos := c.flowStore.linkPos[:0]
+	lstates := c.flowStore.lstates[:0]
+	c.flowStore = flow{comm: c, links: route.Links, cap: cap, rem: c.Size, linkPos: linkPos, lstates: lstates}
 	e.afterFlow(latency, c)
 }
 
@@ -239,4 +293,8 @@ func (e *Engine) completeComm(c *Comm) {
 		e.wake(p)
 	}
 	c.waiters = c.waiters[:0]
+	// A transfer nobody holds a reference to (detached eager sends, the MSG
+	// prototype's fire-and-forget small messages) recycles here; referenced
+	// ones recycle when their last holder releases.
+	c.maybeRecycle()
 }

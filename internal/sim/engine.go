@@ -29,9 +29,10 @@ type Stats struct {
 // as goroutines but the engine resumes exactly one at a time, so simulated
 // programs need no synchronization and runs are fully deterministic.
 type Engine struct {
-	now      float64
-	router   Router
-	netModel NetworkModel
+	now        float64
+	router     Router
+	routerInto RouterInto // non-nil when router supports buffer-reusing routing
+	netModel   NetworkModel
 
 	procs    []*Proc
 	runq     procRing
@@ -41,8 +42,28 @@ type Engine struct {
 	commSeq  int64
 	procSeq  int64
 
-	mailboxes    map[string]*mailbox
+	// Mailbox registries: every live mailbox keyed by integer id, the pair
+	// namespaces, the named-mailbox (space 0) name table, and the recycle
+	// pool for drained mailboxes.
+	boxes        map[Mbox]*mailbox
+	spaces       []*PairSpace
+	namedIDs     map[string]Mbox
+	namedNames   []string
 	mailboxHosts map[string]*Host
+
+	// Object recycling for the continuation kernel. pooled starts true and
+	// is permanently cleared the moment a goroutine process or an external
+	// step function is spawned — those may retain *Comm (or timer) handles
+	// forever, so their engines must never reuse the objects.
+	pooled    bool
+	commPool  []*Comm
+	timerPool []*timer
+	boxPool   []*mailbox
+
+	// goroutineProcs records that WithGoroutineProcs selected the legacy
+	// goroutine-per-process execution mode (layers above consult it when
+	// choosing how to spawn ranks).
+	goroutineProcs bool
 
 	// Fluid-network state: all active flows, the per-link registries tying
 	// them into connected components, the min-heap of projected completion
@@ -91,16 +112,32 @@ func WithFromScratchSharing() Option {
 	return func(e *Engine) { e.fromScratch = true }
 }
 
+// WithGoroutineProcs selects the legacy goroutine-per-process execution mode
+// for layers that support both (the replay core spawns goroutine rank bodies
+// instead of compiled continuation programs when set). The two modes produce
+// bit-identical simulated times and stats; the goroutine mode exists for
+// differential testing and as the ergonomic API for hand-written process
+// bodies.
+func WithGoroutineProcs() Option {
+	return func(e *Engine) { e.goroutineProcs = true }
+}
+
+// GoroutineProcs reports whether WithGoroutineProcs was set.
+func (e *Engine) GoroutineProcs() bool { return e.goroutineProcs }
+
 // NewEngine creates an engine that routes communications with router.
 func NewEngine(router Router, opts ...Option) *Engine {
 	e := &Engine{
 		router:       router,
 		netModel:     DefaultModel{},
-		mailboxes:    make(map[string]*mailbox),
+		boxes:        make(map[Mbox]*mailbox),
+		namedIDs:     make(map[string]Mbox),
 		mailboxHosts: make(map[string]*Host),
 		linkStates:   make(map[*Link]*linkState),
 		yield:        make(chan struct{}),
+		pooled:       true,
 	}
+	e.routerInto, _ = router.(RouterInto)
 	for _, o := range opts {
 		o(e)
 	}
@@ -193,7 +230,7 @@ func (e *Engine) deadlock() error {
 	var stalled []string
 	for _, f := range e.stalled {
 		stalled = append(stalled, fmt.Sprintf("comm %d on %q (%s -> %s): %g of %g bytes left at rate 0",
-			f.comm.ID, f.comm.Mailbox, f.comm.src, f.comm.dst, f.rem, f.comm.Size))
+			f.comm.ID, f.comm.Mailbox(), f.comm.src, f.comm.dst, f.rem, f.comm.Size))
 	}
 	return &DeadlockError{Time: e.now, Blocked: blocked, Stalled: stalled}
 }

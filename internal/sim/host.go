@@ -60,6 +60,16 @@ type Router interface {
 	Route(src, dst *Host) Route
 }
 
+// RouterInto is an optional Router extension for allocation-free routing:
+// RouteInto appends the route's links to buf — typically a buffer owned by
+// the comm being routed and reused across transfers — and returns a Route
+// whose Links are backed by it. Implementations must always return Links
+// derived from buf (possibly empty) and must not retain the slice.
+type RouterInto interface {
+	Router
+	RouteInto(buf []*Link, src, dst *Host) Route
+}
+
 // NetworkModel maps a transfer (route, size) to the effective latency and an
 // optional per-flow rate cap. It is the hook through which the SMPI
 // piece-wise-linear model of Section 3.3 plugs into the kernel: correction

@@ -31,8 +31,11 @@ type flow struct {
 	// and identical to the historical scan order).
 	seq int64
 	// linkPos[i] is this flow's index in links[i]'s per-engine flow list,
-	// for O(1) removal.
+	// for O(1) removal. lstates[i] caches the resolved linkState of
+	// links[i], so the solver's traversals never touch the engine's link
+	// map; both backing arrays are reused across a recycled comm's flows.
 	linkPos  []int
+	lstates  []*linkState
 	heapIdx  int   // index in Engine.completions, -1 when absent
 	listIdx  int   // index in Engine.active
 	stallIdx int   // index in Engine.stalled, -1 when absent
@@ -76,9 +79,20 @@ func (e *Engine) addFlow(f *flow) {
 	f.stallIdx = -1
 	f.listIdx = len(e.active)
 	e.active = append(e.active, f)
-	f.linkPos = make([]int, len(f.links))
+	// Reuse the backing array across a recycled comm's successive flows.
+	if cap(f.linkPos) >= len(f.links) {
+		f.linkPos = f.linkPos[:len(f.links)]
+	} else {
+		f.linkPos = make([]int, len(f.links))
+	}
+	if cap(f.lstates) >= len(f.links) {
+		f.lstates = f.lstates[:len(f.links)]
+	} else {
+		f.lstates = make([]*linkState, len(f.links))
+	}
 	for i, l := range f.links {
 		ls := e.linkState(l)
+		f.lstates[i] = ls
 		f.linkPos[i] = len(ls.flows)
 		ls.flows = append(ls.flows, f)
 	}
@@ -100,8 +114,7 @@ func (e *Engine) removeFlow(f *flow) {
 	e.active[last] = nil
 	e.active = e.active[:last]
 
-	for i, l := range f.links {
-		ls := e.linkStates[l]
+	for i, ls := range f.lstates {
 		pos := f.linkPos[i]
 		tail := len(ls.flows) - 1
 		m := ls.flows[tail]
@@ -112,8 +125,8 @@ func (e *Engine) removeFlow(f *flow) {
 			// Fix the moved flow's back-pointer for this link (m may be f
 			// itself when a route crosses the same link twice). A flow
 			// crosses few links, so the scan is O(1) in practice.
-			for j, ml := range m.links {
-				if ml == l && m.linkPos[j] == tail {
+			for j, ms := range m.lstates {
+				if ms == ls && m.linkPos[j] == tail {
 					m.linkPos[j] = pos
 					break
 				}
@@ -202,8 +215,7 @@ func (e *Engine) solveFrom(seed *flow, m int64) {
 	seed.mark = m
 	comp = append(comp, seed)
 	for i := 0; i < len(comp); i++ {
-		for _, l := range comp[i].links {
-			ls := e.linkStates[l]
+		for _, ls := range comp[i].lstates {
 			if ls.mark == m {
 				continue
 			}
@@ -236,8 +248,8 @@ func (e *Engine) solveComponent(comp []*flow, links []*linkState) {
 		ls.n = 0
 	}
 	for _, f := range comp {
-		for _, l := range f.links {
-			e.linkStates[l].n++
+		for _, ls := range f.lstates {
+			ls.n++
 		}
 	}
 
@@ -341,8 +353,7 @@ func (e *Engine) constrainedAt(f *flow, level float64, capBound bool) bool {
 	if capBound && f.cap > 0 && f.cap <= level*(1+relEps) {
 		return true
 	}
-	for _, l := range f.links {
-		ls := e.linkStates[l]
+	for _, ls := range f.lstates {
 		if ls.n > 0 && ls.rem/float64(ls.n) <= level*(1+relEps) {
 			return true
 		}
@@ -357,8 +368,7 @@ func (e *Engine) atMinimalConstraint(f *flow, level float64) bool {
 	if f.cap > 0 && f.cap <= level {
 		return true
 	}
-	for _, l := range f.links {
-		ls := e.linkStates[l]
+	for _, ls := range f.lstates {
 		if ls.n > 0 && ls.rem/float64(ls.n) <= level {
 			return true
 		}
@@ -369,8 +379,7 @@ func (e *Engine) atMinimalConstraint(f *flow, level float64) bool {
 // consume removes a fixed flow's allocation from its links' remaining
 // capacity.
 func (e *Engine) consume(f *flow, level float64) {
-	for _, l := range f.links {
-		ls := e.linkStates[l]
+	for _, ls := range f.lstates {
 		ls.rem -= level
 		if ls.rem < 0 {
 			ls.rem = 0

@@ -27,6 +27,13 @@ type Proc struct {
 	blockedOn blockInfo
 	resume    chan struct{}
 	fault     error
+
+	// Continuation-mode fields: non-nil step means the process is resumed by
+	// invoking step inline from the event loop instead of a channel handoff
+	// to a goroutine. task is the value handed to step (embedded to avoid a
+	// per-process allocation).
+	step func(*Task) Step
+	task Task
 }
 
 // blockInfo describes why a process is blocked. It holds the raw operands
@@ -45,7 +52,7 @@ func (b blockInfo) String() string {
 	case "sleep":
 		return fmt.Sprintf("sleep(%g)", b.amt)
 	case "wait":
-		return fmt.Sprintf("wait(comm %d on %q)", b.comm.ID, b.comm.Mailbox)
+		return fmt.Sprintf("wait(comm %d on %q)", b.comm.ID, b.comm.Mailbox())
 	case "barrier":
 		return fmt.Sprintf("barrier(%d/%d)", b.n, b.m)
 	}
@@ -81,6 +88,9 @@ func (e *Engine) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 	if host == nil {
 		panic("sim: Spawn with nil host")
 	}
+	// A goroutine body may retain *Comm values arbitrarily long, so its
+	// engine must never recycle them.
+	e.pooled = false
 	e.procSeq++
 	p := &Proc{
 		Name:   name,
@@ -113,7 +123,10 @@ func (e *Engine) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 	return p
 }
 
-// resume hands control to p until it blocks or finishes.
+// resume hands control to p until it blocks or finishes: a direct step-
+// function call for continuation processes, a channel handoff for goroutine
+// processes. Both count one context switch, so the stat is comparable (and
+// bit-identical) across modes.
 func (e *Engine) resume(p *Proc) {
 	if p.state != procRunnable {
 		return
@@ -121,6 +134,10 @@ func (e *Engine) resume(p *Proc) {
 	p.state = procRunning
 	e.current = p
 	e.stats.ContextSwitches++
+	if p.step != nil {
+		e.stepTask(p)
+		return
+	}
 	p.resume <- struct{}{}
 	<-e.yield
 }
@@ -190,10 +207,7 @@ func (p *Proc) Put(mb string, size float64) *Comm {
 // PutAsync posts a send and returns immediately; the transfer starts when a
 // matching receive is posted. Wait on the returned comm for completion.
 func (p *Proc) PutAsync(mb string, size float64) *Comm {
-	if size < 0 {
-		p.faultf("send of negative size %g", size)
-	}
-	return p.engine.postSend(mb, p, size, nil, false)
+	return p.PutAsyncBox(p.engine.namedBox(mb).box, size)
 }
 
 // PutPayload is PutAsync with an attached payload value delivered to the
@@ -202,7 +216,8 @@ func (p *Proc) PutPayload(mb string, size float64, payload any) *Comm {
 	if size < 0 {
 		p.faultf("send of negative size %g", size)
 	}
-	return p.engine.postSend(mb, p, size, payload, false)
+	e := p.engine
+	return e.postSend(e.namedBox(mb), p, size, payload, false)
 }
 
 // PutDetached posts a fire-and-forget send: the sender never waits and the
@@ -213,7 +228,8 @@ func (p *Proc) PutDetached(mb string, size float64, payload any) *Comm {
 	if size < 0 {
 		p.faultf("send of negative size %g", size)
 	}
-	return p.engine.postSend(mb, p, size, payload, true)
+	e := p.engine
+	return e.postSend(e.namedBox(mb), p, size, payload, true)
 }
 
 // Get posts a receive on the mailbox and blocks until a matching transfer
@@ -227,7 +243,45 @@ func (p *Proc) Get(mb string) *Comm {
 // GetAsync posts a receive and returns immediately; wait on the returned
 // comm for the data.
 func (p *Proc) GetAsync(mb string) *Comm {
-	return p.engine.postRecv(mb, p)
+	return p.GetAsyncBox(p.engine.namedBox(mb).box)
+}
+
+// PutBox is Put on a pair mailbox (see Mbox/PairSpace).
+func (p *Proc) PutBox(mb Mbox, size float64) *Comm {
+	c := p.PutAsyncBox(mb, size)
+	p.WaitComm(c)
+	return c
+}
+
+// PutAsyncBox is PutAsync on a pair mailbox.
+func (p *Proc) PutAsyncBox(mb Mbox, size float64) *Comm {
+	if size < 0 {
+		p.faultf("send of negative size %g", size)
+	}
+	e := p.engine
+	return e.postSend(e.box(mb), p, size, nil, false)
+}
+
+// PutDetachedBox is PutDetached on a pair mailbox.
+func (p *Proc) PutDetachedBox(mb Mbox, size float64, payload any) *Comm {
+	if size < 0 {
+		p.faultf("send of negative size %g", size)
+	}
+	e := p.engine
+	return e.postSend(e.box(mb), p, size, payload, true)
+}
+
+// GetBox is Get on a pair mailbox.
+func (p *Proc) GetBox(mb Mbox) *Comm {
+	c := p.GetAsyncBox(mb)
+	p.WaitComm(c)
+	return c
+}
+
+// GetAsyncBox is GetAsync on a pair mailbox.
+func (p *Proc) GetAsyncBox(mb Mbox) *Comm {
+	e := p.engine
+	return e.postRecv(e.box(mb), p)
 }
 
 // WaitComm blocks until c completes.

@@ -79,10 +79,37 @@ func (e *Engine) after(d float64, fire func()) *timer {
 	return e.at(e.now+d, fire)
 }
 
+// acquireTimer hands out a timer, recycling fired ones in pooled
+// (pure-continuation) mode; no handle to a wake/flow timer ever escapes the
+// kernel there, so reuse is safe.
+func (e *Engine) acquireTimer() *timer {
+	e.timerSeq++
+	if n := len(e.timerPool); e.pooled && n > 0 {
+		t := e.timerPool[n-1]
+		e.timerPool[n-1] = nil
+		e.timerPool = e.timerPool[:n-1]
+		*t = timer{seq: e.timerSeq}
+		return t
+	}
+	return &timer{seq: e.timerSeq}
+}
+
+// releaseTimer recycles a fired wake/flow timer. Closure timers (fire) are
+// excluded: tests and models hold their handles for later cancellation.
+func (e *Engine) releaseTimer(t *timer) {
+	if !e.pooled || t.fire != nil {
+		return
+	}
+	t.proc = nil
+	t.comm = nil
+	e.timerPool = append(e.timerPool, t)
+}
+
 // afterWake schedules p to be woken d simulated seconds from now.
 func (e *Engine) afterWake(d float64, p *Proc) *timer {
-	e.timerSeq++
-	t := &timer{deadline: e.now + d, seq: e.timerSeq, proc: p}
+	t := e.acquireTimer()
+	t.deadline = e.now + d
+	t.proc = p
 	heap.Push(&e.timers, t)
 	return t
 }
@@ -90,13 +117,14 @@ func (e *Engine) afterWake(d float64, p *Proc) *timer {
 // afterFlow schedules c's transition out of its latency stage d simulated
 // seconds from now.
 func (e *Engine) afterFlow(d float64, c *Comm) *timer {
-	e.timerSeq++
-	t := &timer{deadline: e.now + d, seq: e.timerSeq, comm: c}
+	t := e.acquireTimer()
+	t.deadline = e.now + d
+	t.comm = c
 	heap.Push(&e.timers, t)
 	return t
 }
 
-// dispatch runs a fired timer's action.
+// dispatch runs a fired timer's action, then recycles the timer when safe.
 func (e *Engine) dispatch(t *timer) {
 	switch {
 	case t.proc != nil:
@@ -106,4 +134,5 @@ func (e *Engine) dispatch(t *timer) {
 	default:
 		t.fire()
 	}
+	e.releaseTimer(t)
 }
