@@ -26,6 +26,13 @@
 //
 //	tireplay -compile -desc traces/lu_b8.desc [-np 8]
 //
+// Foreign-trace usage — replay a dump acquired by another toolchain (an SST
+// DUMPI ASCII dump or a TAU profile folder), either directly or ingested
+// once into the binary .tib form:
+//
+//	tireplay -import auto -desc dumps/run.dumpi -platform platform.json
+//	tireplay -import dumpi -compile -desc dumps/run.dumpi
+//
 // Service usage — a long-lived sweep server sharing one result store
 // across many clients (identical points replay exactly once), with
 // work-stealing worker processes draining the queue:
@@ -81,6 +88,8 @@ func runMain() {
 	verbose := flag.Bool("v", false, "print engine statistics / batch progress")
 	compile := flag.Bool("compile", false, "compile -desc into a sibling .tib binary trace cache and exit")
 	cache := flag.String("trace-cache", "auto", "binary trace cache mode: auto, on, or off")
+	importFmt := flag.String("import", "", "treat -desc as a foreign trace in this format: one of "+fmt.Sprint(tireplay.TraceImporters())+", or auto to sniff")
+	importRate := flag.Float64("import-rate", 0, "with -import: CPU-seconds-to-instructions rate when the dump has no hardware counter (0 = 1e9)")
 	server := flag.String("server", "", "with -sweep: submit to this sweep server (tireplay serve) instead of running locally")
 	flag.Parse()
 
@@ -88,6 +97,16 @@ func runMain() {
 		if *desc == "" {
 			fmt.Fprintln(os.Stderr, "tireplay: -compile requires -desc")
 			os.Exit(2)
+		}
+		if *importFmt != "" {
+			// Foreign-trace ingestion: pay the DUMPI/TAU parse once, replay
+			// from the binary form ever after.
+			tibPath := *desc + ".tib"
+			ranks, err := tireplay.ImportCompileTraces(*importFmt, *desc, tibPath,
+				tireplay.TraceImportOptions{InstructionRate: *importRate})
+			fatal(err)
+			fmt.Printf("imported %d ranks, compiled %s\n", ranks, tibPath)
+			return
 		}
 		if *np == 0 {
 			// A single-entry description is the merged layout: without a
@@ -137,6 +156,8 @@ func runMain() {
 		HostSpeed:     *speed,
 		ValidateTrace: *validate,
 		TraceCache:    *cache,
+		TraceFormat:   *importFmt,
+		ImportRate:    *importRate,
 	}
 	if *backend == tireplay.MSG {
 		// The prototype's crude hard-coded network reference figures, and

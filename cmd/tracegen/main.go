@@ -8,6 +8,13 @@
 //	tracegen -workload lu -class B -np 8 [-iters 250] [-o traces] [-prefix lu_b8]
 //	    [-mode perfect|minimal|fine] [-cluster bordereau|graphene] [-O3]
 //	    [-fold | -tib]
+//
+// With -mix, tracegen instead emits a synthetic trace exercising the
+// extended action vocabulary (vector collectives, wait-any/wait-some) —
+// deterministic, cross-rank consistent, and independent of any workload
+// model:
+//
+//	tracegen -mix alltoallv -np 8 -iters 4 [-bytes 65536] [-o traces] [-tib]
 package main
 
 import (
@@ -20,7 +27,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "lu", "workload: lu, cg, ep, or mg")
+	workload := flag.String("workload", "lu", "workload: lu, cg, ep, mg, bt, sp, or ft")
 	classStr := flag.String("class", "B", "NPB class: S, W, A, B, C, D")
 	np := flag.Int("np", 8, "number of processes (power of two)")
 	iters := flag.Int("iters", 0, "iterations (0 = class default)")
@@ -31,7 +38,24 @@ func main() {
 	o3 := flag.Bool("O3", false, "acquire from an -O3 build")
 	fold := flag.Bool("fold", false, "write loop-folded trace files (lossless; replayer expands them)")
 	tib := flag.Bool("tib", false, "write one compiled .tib binary trace instead of text files")
+	mix := flag.String("mix", "", "emit a synthetic mix instead of a workload trace: one of "+fmt.Sprint(tireplay.SyntheticTraceMixes()))
+	mixBytes := flag.Float64("bytes", 65536, "with -mix: base payload in bytes (the mixes scale it unevenly)")
 	flag.Parse()
+
+	if *mix != "" {
+		mixIters := *iters
+		if mixIters == 0 {
+			mixIters = 4
+		}
+		perRank, err := tireplay.SyntheticMixTraces(*mix, *np, mixIters, *mixBytes)
+		fatal(err)
+		name := *prefix
+		if name == "" {
+			name = fmt.Sprintf("mix_%s%d", *mix, *np)
+		}
+		write(perRank, name, *outDir, *tib, *fold)
+		return
+	}
 
 	class := tireplay.NPBClass((*classStr)[0])
 	var w tireplay.Workload
@@ -45,6 +69,12 @@ func main() {
 		w, err = tireplay.NewEP(class, *np)
 	case "mg":
 		w, err = tireplay.NewMG(class, *np, *iters)
+	case "bt":
+		w, err = tireplay.NewBT(class, *np, *iters)
+	case "sp":
+		w, err = tireplay.NewSP(class, *np, *iters)
+	case "ft":
+		w, err = tireplay.NewFT(class, *np, *iters)
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -84,18 +114,25 @@ func main() {
 	}
 	perRank, err := tireplay.Materialize(prov)
 	fatal(err)
+	write(perRank, name, *outDir, *tib, *fold)
+}
+
+// write stores a materialized trace set in the chosen layout and prints its
+// volume summary.
+func write(perRank [][]tireplay.Action, name, outDir string, tib, fold bool) {
 	var desc string
+	var err error
 	switch {
-	case *tib:
+	case tib:
 		// A .tib is self-contained (rank count and per-rank index in the
 		// header) and accepted directly by tireplay -desc.
-		fatal(os.MkdirAll(*outDir, 0o755))
-		desc = filepath.Join(*outDir, name+".tib")
+		fatal(os.MkdirAll(outDir, 0o755))
+		desc = filepath.Join(outDir, name+".tib")
 		err = tireplay.WriteTIB(desc, perRank)
-	case *fold:
-		desc, err = tireplay.WriteFoldedTraces(*outDir, name, perRank)
+	case fold:
+		desc, err = tireplay.WriteFoldedTraces(outDir, name, perRank)
 	default:
-		desc, err = tireplay.WriteTraces(*outDir, name, perRank)
+		desc, err = tireplay.WriteTraces(outDir, name, perRank)
 	}
 	fatal(err)
 

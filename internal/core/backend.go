@@ -33,15 +33,19 @@ type RankOps interface {
 	// Compute executes instr instructions at the host's calibrated rate.
 	Compute(instr float64)
 
-	// Point-to-point operations.
+	// Point-to-point operations. WaitAny blocks until at least one request
+	// completes and returns the index of the lowest-indexed completed one;
+	// the driver builds waitsome on top of it (k successive wait-anys).
 	Send(dst int, bytes float64)
 	Isend(dst int, bytes float64) Request
 	Recv(src int)
 	Irecv(src int) Request
 	Wait(q Request)
 	WaitAll(qs []Request)
+	WaitAny(qs []Request) int
 
-	// Collective operations.
+	// Collective operations. The vector collectives take one volume per rank
+	// (already validated against the communicator size by the driver).
 	Barrier()
 	Bcast(bytes float64, root int)
 	Reduce(bytes float64, root int)
@@ -49,6 +53,8 @@ type RankOps interface {
 	AllToAll(bytes float64)
 	Gather(bytes float64, root int)
 	AllGather(bytes float64)
+	AllToAllV(vols []float64)
+	AllGatherV(vols []float64)
 }
 
 // World is one backend's replay context: a set of ranks bound to hosts on a
@@ -82,6 +88,8 @@ type TaskOps interface {
 	AllToAll(p *sim.Prog, bytes float64)
 	Gather(p *sim.Prog, bytes float64, root int)
 	AllGather(p *sim.Prog, bytes float64)
+	AllToAllV(p *sim.Prog, vols []float64)
+	AllGatherV(p *sim.Prog, vols []float64)
 }
 
 // TaskWorld is implemented by worlds whose backend can also compile ranks to
@@ -203,6 +211,14 @@ func (o smpiOps) WaitAll(qs []Request) {
 	o.Rank.WaitAll(reqs)
 }
 
+func (o smpiOps) WaitAny(qs []Request) int {
+	reqs := make([]*mpi.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = o.req(q)
+	}
+	return o.Rank.WaitAny(reqs)
+}
+
 func (o smpiOps) req(q Request) *mpi.Request {
 	r, ok := q.(*mpi.Request)
 	if !ok {
@@ -256,4 +272,16 @@ func (o msgOps) WaitAll(qs []Request) {
 	for _, q := range qs {
 		o.Wait(q)
 	}
+}
+
+func (o msgOps) WaitAny(qs []Request) int {
+	cs := make([]*sim.Comm, len(qs))
+	for i, q := range qs {
+		c, ok := q.(*sim.Comm)
+		if !ok {
+			o.Proc().Fail(fmt.Errorf("core: msg backend: wait-any on foreign request %T", q))
+		}
+		cs[i] = c
+	}
+	return o.Rank.WaitAny(cs)
 }

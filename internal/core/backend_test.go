@@ -152,6 +152,7 @@ func (o *fixedOps) Recv(int)                   { o.proc.Sleep(o.delay) }
 func (o *fixedOps) Irecv(int) Request          { o.proc.Sleep(o.delay); return struct{}{} }
 func (o *fixedOps) Wait(Request)               {}
 func (o *fixedOps) WaitAll([]Request)          {}
+func (o *fixedOps) WaitAny([]Request) int      { return 0 }
 func (o *fixedOps) Barrier()                   { o.proc.Sleep(o.delay) }
 func (o *fixedOps) Bcast(float64, int)         { o.proc.Sleep(o.delay) }
 func (o *fixedOps) Reduce(float64, int)        { o.proc.Sleep(o.delay) }
@@ -159,6 +160,8 @@ func (o *fixedOps) AllReduce(float64)          { o.proc.Sleep(o.delay) }
 func (o *fixedOps) AllToAll(float64)           { o.proc.Sleep(o.delay) }
 func (o *fixedOps) Gather(float64, int)        { o.proc.Sleep(o.delay) }
 func (o *fixedOps) AllGather(float64)          { o.proc.Sleep(o.delay) }
+func (o *fixedOps) AllToAllV([]float64)        { o.proc.Sleep(o.delay) }
+func (o *fixedOps) AllGatherV([]float64)       { o.proc.Sleep(o.delay) }
 
 func TestRegisterCustomBackend(t *testing.T) {
 	Register("fixed", fixedBackend{delay: 0.5})

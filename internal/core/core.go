@@ -151,9 +151,9 @@ func Replay(prov trace.Provider, plat *platform.Platform, cfg Config) (*Result, 
 		}
 		streams = append(streams, stream)
 		if taskMode {
-			spawnRankTask(taskWorld, backend.Name(), rank, stream, &actions)
+			spawnRankTask(taskWorld, backend.Name(), rank, n, stream, &actions)
 		} else {
-			spawnRank(world, backend.Name(), rank, stream, &actions)
+			spawnRank(world, backend.Name(), rank, n, stream, &actions)
 		}
 	}
 

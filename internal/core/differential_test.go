@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 
@@ -19,7 +22,8 @@ import (
 
 // randomTrace builds a balanced random trace over n ranks: matched
 // eager and rendezvous point-to-point traffic, isend/irecv with FIFO
-// wait/waitall, compute, and the full collective set.
+// wait/waitall, nonblocking bursts drained by waitany/waitsome, compute,
+// the full collective set, and uneven vector collectives.
 func randomTrace(rng *rand.Rand, n int) [][]trace.Action {
 	perRank := make([][]trace.Action, n)
 	addAll := func(kind trace.Kind, bytes float64, root int) {
@@ -28,7 +32,7 @@ func randomTrace(rng *rand.Rand, n int) [][]trace.Action {
 		}
 	}
 	for round := 0; round < 15; round++ {
-		switch rng.Intn(6) {
+		switch rng.Intn(8) {
 		case 0: // blocking exchange, size straddling the eager threshold
 			src := rng.Intn(n)
 			dst := (src + 1 + rng.Intn(n-1)) % n
@@ -64,7 +68,7 @@ func randomTrace(rng *rand.Rand, n int) [][]trace.Action {
 			default:
 				addAll(trace.Gather, float64(1+rng.Intn(4096)), root)
 			}
-		default:
+		case 5:
 			switch rng.Intn(3) {
 			case 0:
 				addAll(trace.AllReduce, float64(1+rng.Intn(100000)), 0)
@@ -72,6 +76,56 @@ func randomTrace(rng *rand.Rand, n int) [][]trace.Action {
 				addAll(trace.AllToAll, float64(1+rng.Intn(8192)), 0)
 			default:
 				addAll(trace.AllGather, float64(1+rng.Intn(8192)), 0)
+			}
+		case 6: // vector collectives with uneven, cross-rank-consistent volumes
+			if rng.Intn(2) == 0 {
+				// Per-pair volumes: rank r's entry for peer k derives from
+				// (r, k) only, so every rank compiles the same exchange.
+				base := float64(1 + rng.Intn(8192))
+				for r := 0; r < n; r++ {
+					vols := make([]float64, n)
+					for k := 0; k < n; k++ {
+						if k != r {
+							vols[k] = base * float64(1+(r*13+k*7)%5)
+						}
+					}
+					perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.AllToAllV, Peer: -1, Volumes: vols})
+				}
+			} else {
+				// Contribution sizes depend on the contributing rank only, so
+				// all ranks record one identical vector.
+				vols := make([]float64, n)
+				for k := 0; k < n; k++ {
+					vols[k] = float64(1 + rng.Intn(8192))
+				}
+				for r := 0; r < n; r++ {
+					perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.AllGatherV, Peer: -1,
+						Volumes: append([]float64(nil), vols...)})
+				}
+			}
+		default: // nonblocking burst to both neighbors drained out of order
+			for r := 0; r < n; r++ {
+				next, prev := (r+1)%n, (r-1+n)%n
+				size := float64(1 + rng.Intn(150000))
+				perRank[r] = append(perRank[r],
+					trace.Action{Rank: r, Kind: trace.ISend, Peer: next, Bytes: size},
+					trace.Action{Rank: r, Kind: trace.ISend, Peer: prev, Bytes: size},
+					trace.Action{Rank: r, Kind: trace.IRecv, Peer: prev, Bytes: size},
+					trace.Action{Rank: r, Kind: trace.IRecv, Peer: next, Bytes: size})
+				switch rng.Intn(3) {
+				case 0: // four waitanys
+					for i := 0; i < 4; i++ {
+						perRank[r] = append(perRank[r], trace.Action{Rank: r, Kind: trace.WaitAny, Peer: -1})
+					}
+				case 1: // waitsome of 3 plus a waitall for the rest
+					perRank[r] = append(perRank[r],
+						trace.Action{Rank: r, Kind: trace.WaitSome, Peer: -1, Count: 3},
+						trace.Action{Rank: r, Kind: trace.WaitAll, Peer: -1})
+				default: // waitany, then drain with a waitall
+					perRank[r] = append(perRank[r],
+						trace.Action{Rank: r, Kind: trace.WaitAny, Peer: -1},
+						trace.Action{Rank: r, Kind: trace.WaitAll, Peer: -1})
+				}
 			}
 		}
 	}
@@ -132,6 +186,114 @@ func TestContinuationGoroutineBitIdentical(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A DUMPI-imported trace must replay end to end — importer registry in,
+// vector collectives and wait sets through the drivers, out the other side
+// bit-identical across both schedulers and both backends.
+func TestDUMPIImportReplaysBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	dumps := []string{`
+MPI_Init entering at walltime 10.0, cputime 0 seconds in thread 0.
+MPI_Init returning at walltime 10.5, cputime 1 seconds in thread 0.
+MPI_Send entering at walltime 11.0, cputime 3 seconds in thread 0.
+int count=256
+datatype=11 (MPI_DOUBLE)
+int dest=1
+MPI_Send returning at walltime 11.1, cputime 3 seconds in thread 0.
+MPI_Alltoallv entering at walltime 12.0, cputime 4 seconds in thread 0.
+int sendcounts[2]={16, 32}
+sendtype=11 (MPI_DOUBLE)
+MPI_Alltoallv returning at walltime 12.5, cputime 4 seconds in thread 0.
+MPI_Isend entering at walltime 13.0, cputime 4 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int dest=1
+MPI_Isend returning at walltime 13.0, cputime 4 seconds in thread 0.
+MPI_Irecv entering at walltime 13.1, cputime 4 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int source=1
+MPI_Irecv returning at walltime 13.1, cputime 4 seconds in thread 0.
+MPI_Waitany entering at walltime 13.2, cputime 4 seconds in thread 0.
+MPI_Waitany returning at walltime 13.3, cputime 4 seconds in thread 0.
+MPI_Wait entering at walltime 13.4, cputime 4 seconds in thread 0.
+MPI_Wait returning at walltime 13.5, cputime 4 seconds in thread 0.
+MPI_Allgatherv entering at walltime 14.0, cputime 5 seconds in thread 0.
+int recvcounts[2]={8, 24}
+recvtype=11 (MPI_DOUBLE)
+MPI_Allgatherv returning at walltime 14.2, cputime 5 seconds in thread 0.
+MPI_Finalize entering at walltime 15.0, cputime 6 seconds in thread 0.
+MPI_Finalize returning at walltime 15.1, cputime 6 seconds in thread 0.
+`, `
+MPI_Init entering at walltime 10.0, cputime 0 seconds in thread 0.
+MPI_Init returning at walltime 10.5, cputime 1 seconds in thread 0.
+MPI_Recv entering at walltime 11.0, cputime 2 seconds in thread 0.
+int count=256
+datatype=11 (MPI_DOUBLE)
+int source=0
+MPI_Recv returning at walltime 11.2, cputime 2 seconds in thread 0.
+MPI_Alltoallv entering at walltime 12.0, cputime 3 seconds in thread 0.
+int sendcounts[2]={16, 32}
+sendtype=11 (MPI_DOUBLE)
+MPI_Alltoallv returning at walltime 12.5, cputime 3 seconds in thread 0.
+MPI_Isend entering at walltime 13.0, cputime 3 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int dest=0
+MPI_Isend returning at walltime 13.0, cputime 3 seconds in thread 0.
+MPI_Irecv entering at walltime 13.1, cputime 3 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int source=0
+MPI_Irecv returning at walltime 13.1, cputime 3 seconds in thread 0.
+MPI_Waitsome entering at walltime 13.2, cputime 3 seconds in thread 0.
+int outcount=2
+MPI_Waitsome returning at walltime 13.3, cputime 3 seconds in thread 0.
+MPI_Allgatherv entering at walltime 14.0, cputime 4 seconds in thread 0.
+int recvcounts[2]={8, 24}
+recvtype=11 (MPI_DOUBLE)
+MPI_Allgatherv returning at walltime 14.2, cputime 4 seconds in thread 0.
+MPI_Finalize entering at walltime 15.0, cputime 5 seconds in thread 0.
+MPI_Finalize returning at walltime 15.1, cputime 5 seconds in thread 0.
+`}
+	for i, body := range dumps {
+		name := filepath.Join(dir, fmt.Sprintf("dump-%d.txt", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	configs := []Config{
+		{Backend: SMPI},
+		{Backend: MSG, MSG: msgreplay.Config{RefLatency: 1e-5, RefBandwidth: 1e9}},
+	}
+	for _, cfg := range configs {
+		var results []*Result
+		for _, goroutines := range []bool{false, true} {
+			// Re-import per replay: the provider streams from the files.
+			p, err := trace.Import("auto", dir, trace.ImportOptions{InstructionRate: 1e9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.GoroutineProcs = goroutines
+			res, err := Replay(p, testPlatform(t, 2), c)
+			if err != nil {
+				t.Fatalf("backend %s goroutines=%v: %v", cfg.Backend, goroutines, err)
+			}
+			if res.SimulatedTime <= 0 {
+				t.Fatalf("backend %s: non-positive simulated time %v", cfg.Backend, res.SimulatedTime)
+			}
+			results = append(results, res)
+		}
+		if results[0].SimulatedTime != results[1].SimulatedTime ||
+			results[0].Actions != results[1].Actions ||
+			results[0].Engine != results[1].Engine {
+			t.Fatalf("backend %s: schedulers disagree on the imported trace:\n continuation: %+v\n goroutine:    %+v",
+				cfg.Backend, results[0], results[1])
+		}
 	}
 }
 

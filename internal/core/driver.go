@@ -44,9 +44,9 @@ func (e *TraceError) Unwrap() error { return e.Err }
 // spawnRank starts rank's replay process on world: the shared driver loop
 // runs the stream to completion and aborts the whole simulation with a
 // structured error on a malformed trace.
-func spawnRank(world World, backend string, rank int, stream trace.Stream, actions *int64) {
+func spawnRank(world World, backend string, rank, nranks int, stream trace.Stream, actions *int64) {
 	world.Spawn(rank, func(ops RankOps) {
-		if err := driveRank(ops, rank, stream, actions); err != nil {
+		if err := driveRank(ops, rank, nranks, stream, actions); err != nil {
 			var te *TraceError
 			if errors.As(err, &te) && te.Backend == "" {
 				te.Backend = backend
@@ -59,7 +59,12 @@ func spawnRank(world World, backend string, rank int, stream trace.Stream, actio
 // driveRank replays one rank's action stream through ops. Nonblocking
 // operations are queued and consumed FIFO by wait/waitall, matching how the
 // trace acquisition records MPI_Wait on the oldest outstanding request.
-func driveRank(ops RankOps, rank int, stream trace.Stream, actions *int64) error {
+// Wait-any consumes whichever pending operation the backend reports complete
+// first; waitsome is k successive wait-anys. Every action is bounds-checked
+// against the communicator size before it reaches the backend, so an
+// out-of-range peer or root in a trace surfaces as a TraceError instead of a
+// backend panic (or a hang on a mailbox nobody serves).
+func driveRank(ops RankOps, rank, nranks int, stream trace.Stream, actions *int64) error {
 	var pending []Request
 	for {
 		a, ok, err := stream.Next()
@@ -72,6 +77,9 @@ func driveRank(ops RankOps, rank int, stream trace.Stream, actions *int64) error
 		// The engine is single-threaded (lockstep), so the shared counter
 		// needs no synchronization.
 		*actions++
+		if err := a.ValidateIn(nranks); err != nil {
+			return &TraceError{Rank: rank, Kind: a.Kind, Err: err}
+		}
 		switch a.Kind {
 		case trace.Init, trace.Finalize:
 			// Structural markers: no simulated cost.
@@ -94,6 +102,21 @@ func driveRank(ops RankOps, rank int, stream trace.Stream, actions *int64) error
 		case trace.WaitAll:
 			ops.WaitAll(pending)
 			pending = pending[:0]
+		case trace.WaitAny:
+			if len(pending) == 0 {
+				return &TraceError{Rank: rank, Kind: a.Kind, Err: ErrNoOutstandingRequest}
+			}
+			idx := ops.WaitAny(pending)
+			pending = append(pending[:idx], pending[idx+1:]...)
+		case trace.WaitSome:
+			if a.Count > len(pending) {
+				return &TraceError{Rank: rank, Kind: a.Kind,
+					Err: fmt.Errorf("%w: waitsome of %d with %d outstanding", ErrNoOutstandingRequest, a.Count, len(pending))}
+			}
+			for i := 0; i < a.Count; i++ {
+				idx := ops.WaitAny(pending)
+				pending = append(pending[:idx], pending[idx+1:]...)
+			}
 		case trace.Barrier:
 			ops.Barrier()
 		case trace.Bcast:
@@ -108,6 +131,10 @@ func driveRank(ops RankOps, rank int, stream trace.Stream, actions *int64) error
 			ops.Gather(a.Bytes, a.Root)
 		case trace.AllGather:
 			ops.AllGather(a.Bytes)
+		case trace.AllToAllV:
+			ops.AllToAllV(a.Volumes)
+		case trace.AllGatherV:
+			ops.AllGatherV(a.Volumes)
 		default:
 			return &TraceError{Rank: rank, Kind: a.Kind, Err: ErrUnsupportedAction}
 		}

@@ -17,7 +17,7 @@ import (
 // spawnRankTask starts rank as a continuation program on world. The pending
 // FIFO lives in the machine; the driver only tracks its depth, which is all
 // the no-outstanding-request trace check needs.
-func spawnRankTask(world TaskWorld, backend string, rank int, stream trace.Stream, actions *int64) {
+func spawnRankTask(world TaskWorld, backend string, rank, nranks int, stream trace.Stream, actions *int64) {
 	ops := world.TaskOps(rank)
 	npending := 0
 	world.SpawnProg(rank, func(prog *sim.Prog) (bool, error) {
@@ -31,6 +31,9 @@ func spawnRankTask(world TaskWorld, backend string, rank int, stream trace.Strea
 		// The engine is single-threaded (lockstep), so the shared counter
 		// needs no synchronization.
 		*actions++
+		if err := a.ValidateIn(nranks); err != nil {
+			return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind, Err: err}
+		}
 		switch a.Kind {
 		case trace.Init, trace.Finalize:
 			// Structural markers: no simulated cost.
@@ -55,6 +58,21 @@ func spawnRankTask(world TaskWorld, backend string, rank int, stream trace.Strea
 		case trace.WaitAll:
 			prog.WaitAllPending()
 			npending = 0
+		case trace.WaitAny:
+			if npending == 0 {
+				return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind, Err: ErrNoOutstandingRequest}
+			}
+			prog.WaitAnyPending()
+			npending--
+		case trace.WaitSome:
+			if a.Count > npending {
+				return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind,
+					Err: fmt.Errorf("%w: waitsome of %d with %d outstanding", ErrNoOutstandingRequest, a.Count, npending)}
+			}
+			for i := 0; i < a.Count; i++ {
+				prog.WaitAnyPending()
+			}
+			npending -= a.Count
 		case trace.Barrier:
 			ops.Barrier(prog)
 		case trace.Bcast:
@@ -69,6 +87,10 @@ func spawnRankTask(world TaskWorld, backend string, rank int, stream trace.Strea
 			ops.Gather(prog, a.Bytes, a.Root)
 		case trace.AllGather:
 			ops.AllGather(prog, a.Bytes)
+		case trace.AllToAllV:
+			ops.AllToAllV(prog, a.Volumes)
+		case trace.AllGatherV:
+			ops.AllGatherV(prog, a.Volumes)
 		default:
 			return false, &TraceError{Backend: backend, Rank: rank, Kind: a.Kind, Err: ErrUnsupportedAction}
 		}

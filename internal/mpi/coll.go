@@ -74,6 +74,23 @@ func (r *Rank) Gather(bytes float64, root int) {
 // to its successor while receiving from its predecessor.
 func (r *Rank) AllGather(bytes float64) { allGatherRing(r, bytes) }
 
+// AllToAllV is the vector all-to-all: vols[k] is the number of bytes this
+// rank sends to rank k (vols[rank] is ignored). It uses the same
+// pairwise-exchange schedule as AllToAll with per-pair volumes.
+func (r *Rank) AllToAllV(vols []float64) {
+	checkVolsColl(r, vols, "AllToAllV")
+	alltoallvPairwise(r, vols)
+}
+
+// AllGatherV is the vector all-gather: vols[k] is the number of bytes rank k
+// contributes. Every rank must pass the same vector (as MPI requires of the
+// recvcounts argument). It uses the same ring schedule as AllGather with
+// per-origin block sizes.
+func (r *Rank) AllGatherV(vols []float64) {
+	checkVolsColl(r, vols, "AllGatherV")
+	allGatherVRing(r, vols)
+}
+
 // barrierColl is the binomial gather + release barrier.
 func barrierColl(c collPrims) {
 	reduceTree(c, 0, 1)
@@ -110,6 +127,40 @@ func alltoallPairwise(c collPrims, bytes float64) {
 		dst := (rank + i) % p
 		src := (rank - i + p) % p
 		c.sendRecvColl(dst, bytes, src)
+	}
+}
+
+// alltoallvPairwise is the vector form of alltoallPairwise: the same P-1
+// round schedule, each round carrying the volume owed to that round's
+// destination. Zero-volume pairs still exchange (an empty message), keeping
+// the schedule — and therefore the two execution modes — identical for every
+// volume vector.
+func alltoallvPairwise(c collPrims, vols []float64) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rank := c.Rank()
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		src := (rank - i + p) % p
+		c.sendRecvColl(dst, vols[dst], src)
+	}
+}
+
+// allGatherVRing is the vector form of allGatherRing: at step i each rank
+// forwards the block that originated at rank (rank-i+p)%p, so block k
+// travels the ring at its own size vols[k].
+func allGatherVRing(c collPrims, vols []float64) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rank := c.Rank()
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	for i := 0; i < p-1; i++ {
+		c.sendRecvColl(next, vols[(rank-i+p)%p], prev)
 	}
 }
 
@@ -218,5 +269,18 @@ func checkRootColl(c collPrims, root int, op string) {
 	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("mpi: rank %d: %s root %d outside communicator of size %d",
 			c.Rank(), op, root, c.Size()))
+	}
+}
+
+func checkVolsColl(c collPrims, vols []float64, op string) {
+	if len(vols) != c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: %s volume vector has %d entries for communicator of size %d",
+			c.Rank(), op, len(vols), c.Size()))
+	}
+	for k, v := range vols {
+		if v < 0 {
+			panic(fmt.Sprintf("mpi: rank %d: %s negative volume %g for rank %d",
+				c.Rank(), op, v, k))
+		}
 	}
 }

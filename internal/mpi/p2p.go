@@ -74,6 +74,27 @@ func (r *Rank) WaitAll(qs []*Request) {
 	}
 }
 
+// WaitAny blocks until at least one request in qs completes and returns the
+// index of the lowest-indexed completed one, as MPI_Waitany does (modulo
+// MPI's unspecified choice among simultaneous completions — fixing lowest
+// index keeps the replay deterministic). Nil requests and eager sends count
+// as already complete.
+func (r *Rank) WaitAny(qs []*Request) int {
+	if len(qs) == 0 {
+		panic(fmt.Sprintf("mpi: rank %d: WaitAny on empty request set", r.rank))
+	}
+	for i, q := range qs {
+		if q == nil || q.comm == nil || q.comm.Done() {
+			return i
+		}
+	}
+	cs := make([]*sim.Comm, len(qs))
+	for i, q := range qs {
+		cs[i] = q.comm
+	}
+	return r.proc.WaitAnyComm(cs)
+}
+
 // Test reports whether the request has completed, without blocking.
 func (r *Rank) Test(q *Request) bool {
 	return q == nil || q.Done()

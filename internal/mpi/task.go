@@ -131,6 +131,21 @@ func (tr *TaskRank) AllGather(p *sim.Prog, bytes float64) {
 	allGatherRing(tr, bytes)
 }
 
+// AllToAllV compiles Rank.AllToAllV: the same pairwise schedule, driven
+// through the same algorithm function.
+func (tr *TaskRank) AllToAllV(p *sim.Prog, vols []float64) {
+	tr.bind(p)
+	checkVolsColl(tr, vols, "AllToAllV")
+	alltoallvPairwise(tr, vols)
+}
+
+// AllGatherV compiles Rank.AllGatherV.
+func (tr *TaskRank) AllGatherV(p *sim.Prog, vols []float64) {
+	tr.bind(p)
+	checkVolsColl(tr, vols, "AllGatherV")
+	allGatherVRing(tr, vols)
+}
+
 // emitSend lowers a blocking protocol send (Rank.Send body).
 func (tr *TaskRank) emitSend(box sim.Mbox, bytes float64) {
 	cfg := tr.world.cfg

@@ -151,6 +151,13 @@ func (r *Rank) Wait(c *sim.Comm) {
 	}
 }
 
+// WaitAny blocks until at least one comm in cs has completed and returns the
+// index of the lowest-indexed completed one. MSG comms are never nil (even
+// small sends return a live comm), so the set passes through unchanged.
+func (r *Rank) WaitAny(cs []*sim.Comm) int {
+	return r.proc.WaitAnyComm(cs)
+}
+
 // collective synchronizes all ranks, then charges everyone the monolithic
 // duration d computed from the reference network figures.
 func (r *Rank) collective(d float64) {
@@ -206,4 +213,29 @@ func (r *Rank) Gather(bytes float64, root int) {
 // AllGather charges P-1 full hops.
 func (r *Rank) AllGather(bytes float64) {
 	r.collective(float64(r.world.Size()-1) * r.world.perHop(bytes))
+}
+
+// vectorHops sums the per-hop cost of the P-1 distinct volumes a vector
+// collective moves through rank's position: one hop per peer, each at its
+// own size. It is the vector generalization of the (P-1)*perHop(bytes)
+// formulas above.
+func (w *World) vectorHops(vols []float64, rank int) float64 {
+	var d float64
+	for k, v := range vols {
+		if k == rank {
+			continue
+		}
+		d += w.perHop(v)
+	}
+	return d
+}
+
+// AllToAllV charges one hop per peer at that peer's send volume.
+func (r *Rank) AllToAllV(vols []float64) {
+	r.collective(r.world.vectorHops(vols, r.rank))
+}
+
+// AllGatherV charges one hop per remote block at that block's size.
+func (r *Rank) AllGatherV(vols []float64) {
+	r.collective(r.world.vectorHops(vols, r.rank))
 }

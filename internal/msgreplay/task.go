@@ -101,3 +101,13 @@ func (tr *TaskRank) Gather(p *sim.Prog, bytes float64, root int) {
 func (tr *TaskRank) AllGather(p *sim.Prog, bytes float64) {
 	tr.collective(p, float64(tr.world.Size()-1)*tr.world.perHop(bytes))
 }
+
+// AllToAllV compiles Rank.AllToAllV: the same vectorHops charge.
+func (tr *TaskRank) AllToAllV(p *sim.Prog, vols []float64) {
+	tr.collective(p, tr.world.vectorHops(vols, tr.rank))
+}
+
+// AllGatherV compiles Rank.AllGatherV.
+func (tr *TaskRank) AllGatherV(p *sim.Prog, vols []float64) {
+	tr.collective(p, tr.world.vectorHops(vols, tr.rank))
+}

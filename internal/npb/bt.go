@@ -1,0 +1,274 @@
+package npb
+
+import (
+	"fmt"
+
+	"tireplay/internal/trace"
+)
+
+// BT models the NPB block-tridiagonal solver on a square process grid with
+// an x-y pencil decomposition: each iteration rebuilds the right-hand side,
+// exchanges the four pencil faces with nonblocking operations drained out
+// of order (waitsome + waitall — the copy_faces pattern), then runs
+// forward/backward line-solve sweeps across the grid rows and columns. The
+// z direction is local to the pencil, so its sweep is pure compute.
+type BT struct {
+	Class Class
+	Procs int
+	// Iterations overrides the class niter when positive.
+	Iterations int
+
+	n, niter, q int
+}
+
+// btParams returns (grid dimension, iterations) for a class.
+func btParams(c Class) (int, int, error) {
+	switch c {
+	case ClassS:
+		return 12, 60, nil
+	case ClassW:
+		return 24, 200, nil
+	case ClassA:
+		return 64, 200, nil
+	case ClassB:
+		return 102, 200, nil
+	case ClassC:
+		return 162, 200, nil
+	case ClassD:
+		return 408, 250, nil
+	}
+	return 0, 0, fmt.Errorf("npb: unknown class %q", string(c))
+}
+
+// BT instruction economics (per grid point per iteration).
+const (
+	InstrBTRHS      = 120
+	InstrBTSolve    = 70 // per direction, split over the two sweep halves
+	InstrBTAdd      = 12
+	btCallsPerPoint = 0.15
+	// btVars is the number of solution components per point; btLineBytes the
+	// boundary payload of one line-solve interface point (a 5x5 block plus
+	// the rhs vector).
+	btVars      = 5
+	btLineBytes = 8 * (btVars*btVars + btVars)
+)
+
+// gridSquare factors a square process count into its side, as BT and SP
+// require ("the number of processes must be a perfect square").
+func gridSquare(p int) (int, error) {
+	if p <= 0 {
+		return 0, fmt.Errorf("npb: process count must be positive, got %d", p)
+	}
+	q := 1
+	for q*q < p {
+		q++
+	}
+	if q*q != p {
+		return 0, fmt.Errorf("npb: BT/SP require a square process count, got %d", p)
+	}
+	return q, nil
+}
+
+// NewBT validates and returns a BT instance.
+func NewBT(class Class, procs, iterations int) (*BT, error) {
+	n, niter, err := btParams(class)
+	if err != nil {
+		return nil, err
+	}
+	if iterations > 0 {
+		niter = iterations
+	}
+	q, err := gridSquare(procs)
+	if err != nil {
+		return nil, err
+	}
+	if q > n {
+		return nil, fmt.Errorf("npb: BT %s on %d processes exceeds the %d^3 grid", string(class), procs, n)
+	}
+	return &BT{Class: class, Procs: procs, Iterations: iterations, n: n, niter: niter, q: q}, nil
+}
+
+// Name implements Workload.
+func (b *BT) Name() string { return fmt.Sprintf("BT %s-%d", b.Class, b.Procs) }
+
+// Ranks implements Workload.
+func (b *BT) Ranks() int { return b.Procs }
+
+// coords returns the rank's position in the q x q grid.
+func (b *BT) coords(rank int) (ix, iy int) { return rank % b.q, rank / b.q }
+
+// localDims returns the rank's pencil cross-section.
+func (b *BT) localDims(rank int) (nx, ny int) {
+	ix, iy := b.coords(rank)
+	return split(b.n, b.q, ix), split(b.n, b.q, iy)
+}
+
+// localPoints is the rank's grid-point count (the pencil spans all of z).
+func (b *BT) localPoints(rank int) float64 {
+	nx, ny := b.localDims(rank)
+	return float64(nx) * float64(ny) * float64(b.n)
+}
+
+// WorkingSet implements Workload: solution, rhs, and the three block
+// Jacobians of the line solves.
+func (b *BT) WorkingSet(rank int) float64 {
+	return 8 * float64(2*btVars+3*btVars*btVars) * b.localPoints(rank)
+}
+
+// BaseInstructions implements Workload.
+func (b *BT) BaseInstructions(rank int) float64 {
+	perPoint := float64(InstrBTRHS + 3*InstrBTSolve + InstrBTAdd)
+	return float64(b.niter) * perPoint * b.localPoints(rank)
+}
+
+// Rank implements Workload.
+func (b *BT) Rank(rank int) (OpStream, error) {
+	if rank < 0 || rank >= b.Procs {
+		return nil, fmt.Errorf("npb: rank %d out of range [0,%d)", rank, b.Procs)
+	}
+	return &btStream{bt: b, rank: rank}, nil
+}
+
+type btStream struct {
+	bt    *BT
+	rank  int
+	buf   []Op
+	pos   int
+	phase int // 0 init, 1..niter iterations, niter+1 teardown
+}
+
+func (s *btStream) Next() (Op, bool, error) {
+	for s.pos >= len(s.buf) {
+		if !s.refill() {
+			return Op{}, false, nil
+		}
+	}
+	op := s.buf[s.pos]
+	s.pos++
+	return op, true, nil
+}
+
+func (s *btStream) refill() bool {
+	b := s.bt
+	s.buf = s.buf[:0]
+	s.pos = 0
+	switch {
+	case s.phase == 0:
+		s.emit(trace.Init, 0, 0, -1, 0)
+	case s.phase <= b.niter:
+		s.emitIteration()
+	case s.phase == b.niter+1:
+		s.emit(trace.AllReduce, 0, 8*btVars, -1, 1) // verification norms
+		s.emit(trace.Finalize, 0, 0, -1, 0)
+	default:
+		return false
+	}
+	s.phase++
+	return len(s.buf) > 0 || s.refill()
+}
+
+func (s *btStream) emit(kind trace.Kind, instr, bytes float64, peer int, calls float64) {
+	s.buf = append(s.buf, Op{
+		Action: trace.Action{Rank: s.rank, Kind: kind, Instructions: instr, Bytes: bytes, Peer: peer},
+		Calls:  calls,
+	})
+}
+
+func (s *btStream) emitIteration() {
+	b := s.bt
+	pts := b.localPoints(s.rank)
+	s.emit(trace.Compute, InstrBTRHS*pts, 0, -1, btCallsPerPoint*pts)
+	s.emitCopyFaces()
+	// x and y line solves sweep across the grid; z is pencil-local.
+	s.emitSweep(0)
+	s.emitSweep(1)
+	s.emit(trace.Compute, InstrBTSolve*pts, 0, -1, btCallsPerPoint*pts)
+	s.emit(trace.Compute, InstrBTAdd*pts, 0, -1, btCallsPerPoint*pts)
+}
+
+// emitCopyFaces posts nonblocking receives and sends for the four pencil
+// faces (periodic in both grid directions), then drains them out of order:
+// a waitsome for the first half, a waitall for the rest.
+func (s *btStream) emitCopyFaces() {
+	b := s.bt
+	if b.q == 1 {
+		return
+	}
+	ix, iy := b.coords(s.rank)
+	nx, ny := b.localDims(s.rank)
+	at := func(x, y int) int { return y*b.q + x }
+	type face struct {
+		peer  int
+		bytes float64
+	}
+	faces := []face{
+		{at((ix+1)%b.q, iy), 8 * btVars * float64(ny) * float64(b.n)},
+		{at((ix-1+b.q)%b.q, iy), 8 * btVars * float64(ny) * float64(b.n)},
+		{at(ix, (iy+1)%b.q), 8 * btVars * float64(nx) * float64(b.n)},
+		{at(ix, (iy-1+b.q)%b.q), 8 * btVars * float64(nx) * float64(b.n)},
+	}
+	posted := 0
+	for _, f := range faces {
+		if f.peer != s.rank {
+			s.emit(trace.IRecv, 0, f.bytes, f.peer, 1)
+			posted++
+		}
+	}
+	for _, f := range faces {
+		if f.peer != s.rank {
+			s.emit(trace.ISend, 0, f.bytes, f.peer, 1)
+			posted++
+		}
+	}
+	if posted == 0 {
+		return
+	}
+	if half := posted / 2; half > 0 {
+		s.buf = append(s.buf, Op{
+			Action: trace.Action{Rank: s.rank, Kind: trace.WaitSome, Peer: -1, Count: half},
+			Calls:  1,
+		})
+	}
+	s.emit(trace.WaitAll, 0, 0, -1, 1)
+}
+
+// emitSweep is one direction's line solve: a forward elimination pipelined
+// toward higher grid coordinates, then the back substitution flowing the
+// other way — the wavefront structure of BT's solve stages.
+func (s *btStream) emitSweep(dir int) {
+	b := s.bt
+	ix, iy := b.coords(s.rank)
+	nx, ny := b.localDims(s.rank)
+	at := func(x, y int) int { return y*b.q + x }
+	var pos, lo, hi int
+	var ifaceBytes float64
+	if dir == 0 {
+		pos = ix
+		lo, hi = at(ix-1, iy), at(ix+1, iy)
+		ifaceBytes = btLineBytes * float64(ny) * float64(b.n)
+	} else {
+		pos = iy
+		lo, hi = at(ix, iy-1), at(ix, iy+1)
+		ifaceBytes = btLineBytes * float64(nx) * float64(b.n)
+	}
+	pts := b.localPoints(s.rank)
+	half := InstrBTSolve * pts / 2
+	// Forward elimination.
+	if pos > 0 {
+		s.emit(trace.Recv, 0, 0, lo, 1)
+	}
+	s.emit(trace.Compute, half, 0, -1, btCallsPerPoint*pts/2)
+	if pos < b.q-1 {
+		s.emit(trace.Send, 0, ifaceBytes, hi, 1)
+	}
+	// Back substitution.
+	if pos < b.q-1 {
+		s.emit(trace.Recv, 0, 0, hi, 1)
+	}
+	s.emit(trace.Compute, half, 0, -1, btCallsPerPoint*pts/2)
+	if pos > 0 {
+		s.emit(trace.Send, 0, ifaceBytes, lo, 1)
+	}
+}
+
+var _ Workload = (*BT)(nil)

@@ -1,0 +1,98 @@
+package npb
+
+import (
+	"testing"
+
+	"tireplay/internal/core"
+	"tireplay/internal/platform"
+)
+
+func smokePlatform(t *testing.T, n int) *platform.Platform {
+	t.Helper()
+	p, err := platform.NewFlatCluster(platform.FlatConfig{
+		Name: "smoke", Hosts: n, Speed: 1e9,
+		LinkBandwidth: 1e9, LinkLatency: 1e-5,
+		BackboneBandwidth: 1e10, BackboneLatency: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The new workloads must replay to completion — the waitany/waitsome drains
+// and vector collectives included — with bit-identical simulated times and
+// action counts under both schedulers.
+func TestNewWorkloadsReplayBothModes(t *testing.T) {
+	plat := smokePlatform(t, 9)
+	for _, tc := range []struct {
+		name string
+		mk   func() (Workload, error)
+	}{
+		{"bt-4", func() (Workload, error) { return NewBT(ClassS, 4, 2) }},
+		{"sp-9", func() (Workload, error) { return NewSP(ClassS, 9, 2) }},
+		{"ft-5", func() (Workload, error) { return NewFT(ClassS, 5, 2) }}, // 64 % 5 != 0: uneven transpose
+		{"bt-1", func() (Workload, error) { return NewBT(ClassS, 1, 2) }},
+		{"ft-1", func() (Workload, error) { return NewFT(ClassS, 1, 2) }},
+	} {
+		w, err := tc.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var times []float64
+		var actions []int64
+		for _, goroutines := range []bool{false, true} {
+			res, err := core.Replay(AsProvider(w), plat, core.Config{GoroutineProcs: goroutines})
+			if err != nil {
+				t.Fatalf("%s goroutines=%v: %v", tc.name, goroutines, err)
+			}
+			if res.SimulatedTime <= 0 {
+				t.Fatalf("%s: non-positive simulated time %v", tc.name, res.SimulatedTime)
+			}
+			times = append(times, res.SimulatedTime)
+			actions = append(actions, res.Actions)
+		}
+		if times[0] != times[1] || actions[0] != actions[1] {
+			t.Fatalf("%s: schedulers disagree: times %v actions %v", tc.name, times, actions)
+		}
+	}
+}
+
+func TestNewWorkloadConstructorsValidate(t *testing.T) {
+	if _, err := NewBT(ClassS, 3, 1); err == nil {
+		t.Fatal("BT accepted non-square process count")
+	}
+	if _, err := NewSP(ClassS, 5, 1); err == nil {
+		t.Fatal("SP accepted non-square process count")
+	}
+	if _, err := NewFT(ClassS, 65, 1); err == nil {
+		t.Fatal("FT accepted more processes than planes")
+	}
+	if _, err := NewFT(Class('X'), 4, 1); err == nil {
+		t.Fatal("FT accepted unknown class")
+	}
+}
+
+// BT/SP/FT must satisfy the cross-rank consistency the replay requires:
+// matched sends/recvs and identical collective sequences. Replaying on the
+// MSG backend (monolithic collectives with strict barrier synchronization)
+// would hang on any mismatch; completing is the property.
+func TestNewWorkloadsReplayOnMSG(t *testing.T) {
+	plat := smokePlatform(t, 4)
+	for _, mk := range []func() (Workload, error){
+		func() (Workload, error) { return NewBT(ClassS, 4, 1) },
+		func() (Workload, error) { return NewSP(ClassS, 4, 1) },
+		func() (Workload, error) { return NewFT(ClassS, 3, 1) },
+	} {
+		w, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Backend: core.MSG}
+		cfg.MSG.RefLatency = 1e-5
+		cfg.MSG.RefBandwidth = 1e9
+		if _, err := core.Replay(AsProvider(w), plat, cfg); err != nil {
+			t.Fatalf("%s on msg: %v", w.Name(), err)
+		}
+	}
+}

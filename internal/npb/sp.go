@@ -1,0 +1,251 @@
+package npb
+
+import (
+	"fmt"
+
+	"tireplay/internal/trace"
+)
+
+// SP models the NPB scalar-pentadiagonal solver: the same square-grid
+// pencil decomposition and sweep structure as BT, but with scalar (not
+// block) line systems — lighter compute and thinner interface payloads —
+// and a face exchange drained one completion at a time with waitany,
+// overlapping each arrival's unpack compute with the remaining transfers.
+type SP struct {
+	Class Class
+	Procs int
+	// Iterations overrides the class niter when positive.
+	Iterations int
+
+	n, niter, q int
+}
+
+// spParams returns (grid dimension, iterations) for a class.
+func spParams(c Class) (int, int, error) {
+	switch c {
+	case ClassS:
+		return 12, 100, nil
+	case ClassW:
+		return 36, 400, nil
+	case ClassA:
+		return 64, 400, nil
+	case ClassB:
+		return 102, 400, nil
+	case ClassC:
+		return 162, 400, nil
+	case ClassD:
+		return 408, 500, nil
+	}
+	return 0, 0, fmt.Errorf("npb: unknown class %q", string(c))
+}
+
+// SP instruction economics (per grid point per iteration).
+const (
+	InstrSPRHS   = 80
+	InstrSPSolve = 45 // per direction
+	InstrSPAdd   = 10
+	// InstrSPUnpack is the per-face-point unpack cost overlapped with the
+	// remaining transfers after each waitany completion.
+	InstrSPUnpack   = 4
+	spCallsPerPoint = 0.12
+	spVars          = 5
+	// spLineBytes is the scalar pentadiagonal interface payload per line.
+	spLineBytes = 8 * 2 * spVars
+)
+
+// NewSP validates and returns an SP instance.
+func NewSP(class Class, procs, iterations int) (*SP, error) {
+	n, niter, err := spParams(class)
+	if err != nil {
+		return nil, err
+	}
+	if iterations > 0 {
+		niter = iterations
+	}
+	q, err := gridSquare(procs)
+	if err != nil {
+		return nil, err
+	}
+	if q > n {
+		return nil, fmt.Errorf("npb: SP %s on %d processes exceeds the %d^3 grid", string(class), procs, n)
+	}
+	return &SP{Class: class, Procs: procs, Iterations: iterations, n: n, niter: niter, q: q}, nil
+}
+
+// Name implements Workload.
+func (s *SP) Name() string { return fmt.Sprintf("SP %s-%d", s.Class, s.Procs) }
+
+// Ranks implements Workload.
+func (s *SP) Ranks() int { return s.Procs }
+
+func (s *SP) coords(rank int) (ix, iy int) { return rank % s.q, rank / s.q }
+
+func (s *SP) localDims(rank int) (nx, ny int) {
+	ix, iy := s.coords(rank)
+	return split(s.n, s.q, ix), split(s.n, s.q, iy)
+}
+
+func (s *SP) localPoints(rank int) float64 {
+	nx, ny := s.localDims(rank)
+	return float64(nx) * float64(ny) * float64(s.n)
+}
+
+// WorkingSet implements Workload: solution, rhs, and the scalar
+// pentadiagonal coefficient arrays.
+func (s *SP) WorkingSet(rank int) float64 {
+	return 8 * float64(2*spVars+15) * s.localPoints(rank)
+}
+
+// BaseInstructions implements Workload.
+func (s *SP) BaseInstructions(rank int) float64 {
+	perPoint := float64(InstrSPRHS + 3*InstrSPSolve + InstrSPAdd)
+	return float64(s.niter) * perPoint * s.localPoints(rank)
+}
+
+// Rank implements Workload.
+func (s *SP) Rank(rank int) (OpStream, error) {
+	if rank < 0 || rank >= s.Procs {
+		return nil, fmt.Errorf("npb: rank %d out of range [0,%d)", rank, s.Procs)
+	}
+	return &spStream{sp: s, rank: rank}, nil
+}
+
+type spStream struct {
+	sp    *SP
+	rank  int
+	buf   []Op
+	pos   int
+	phase int // 0 init, 1..niter iterations, niter+1 teardown
+}
+
+func (s *spStream) Next() (Op, bool, error) {
+	for s.pos >= len(s.buf) {
+		if !s.refill() {
+			return Op{}, false, nil
+		}
+	}
+	op := s.buf[s.pos]
+	s.pos++
+	return op, true, nil
+}
+
+func (s *spStream) refill() bool {
+	sp := s.sp
+	s.buf = s.buf[:0]
+	s.pos = 0
+	switch {
+	case s.phase == 0:
+		s.emit(trace.Init, 0, 0, -1, 0)
+	case s.phase <= sp.niter:
+		s.emitIteration()
+	case s.phase == sp.niter+1:
+		s.emit(trace.AllReduce, 0, 8*spVars, -1, 1)
+		s.emit(trace.Finalize, 0, 0, -1, 0)
+	default:
+		return false
+	}
+	s.phase++
+	return len(s.buf) > 0 || s.refill()
+}
+
+func (s *spStream) emit(kind trace.Kind, instr, bytes float64, peer int, calls float64) {
+	s.buf = append(s.buf, Op{
+		Action: trace.Action{Rank: s.rank, Kind: kind, Instructions: instr, Bytes: bytes, Peer: peer},
+		Calls:  calls,
+	})
+}
+
+func (s *spStream) emitIteration() {
+	sp := s.sp
+	pts := sp.localPoints(s.rank)
+	s.emit(trace.Compute, InstrSPRHS*pts, 0, -1, spCallsPerPoint*pts)
+	s.emitFaceExchange()
+	s.emitSweep(0)
+	s.emitSweep(1)
+	s.emit(trace.Compute, InstrSPSolve*pts, 0, -1, spCallsPerPoint*pts)
+	s.emit(trace.Compute, InstrSPAdd*pts, 0, -1, spCallsPerPoint*pts)
+}
+
+// emitFaceExchange posts the four periodic face transfers and drains them
+// one at a time: each waitany completion is followed by that face's unpack
+// compute, overlapped with the transfers still in flight.
+func (s *spStream) emitFaceExchange() {
+	sp := s.sp
+	if sp.q == 1 {
+		return
+	}
+	ix, iy := sp.coords(s.rank)
+	nx, ny := sp.localDims(s.rank)
+	at := func(x, y int) int { return y*sp.q + x }
+	type face struct {
+		peer  int
+		bytes float64
+		area  float64
+	}
+	faces := []face{
+		{at((ix+1)%sp.q, iy), 8 * spVars * float64(ny) * float64(sp.n), float64(ny) * float64(sp.n)},
+		{at((ix-1+sp.q)%sp.q, iy), 8 * spVars * float64(ny) * float64(sp.n), float64(ny) * float64(sp.n)},
+		{at(ix, (iy+1)%sp.q), 8 * spVars * float64(nx) * float64(sp.n), float64(nx) * float64(sp.n)},
+		{at(ix, (iy-1+sp.q)%sp.q), 8 * spVars * float64(nx) * float64(sp.n), float64(nx) * float64(sp.n)},
+	}
+	posted := 0
+	var unpack float64
+	for _, f := range faces {
+		if f.peer != s.rank {
+			s.emit(trace.IRecv, 0, f.bytes, f.peer, 1)
+			posted++
+			unpack += InstrSPUnpack * f.area
+		}
+	}
+	for _, f := range faces {
+		if f.peer != s.rank {
+			s.emit(trace.ISend, 0, f.bytes, f.peer, 1)
+			posted++
+		}
+	}
+	if posted == 0 {
+		return
+	}
+	perDrain := unpack / float64(posted)
+	for i := 0; i < posted; i++ {
+		s.emit(trace.WaitAny, 0, 0, -1, 1)
+		s.emit(trace.Compute, perDrain, 0, -1, 1)
+	}
+}
+
+// emitSweep mirrors BT's sweep with scalar interface payloads.
+func (s *spStream) emitSweep(dir int) {
+	sp := s.sp
+	ix, iy := sp.coords(s.rank)
+	nx, ny := sp.localDims(s.rank)
+	at := func(x, y int) int { return y*sp.q + x }
+	var pos, lo, hi int
+	var ifaceBytes float64
+	if dir == 0 {
+		pos = ix
+		lo, hi = at(ix-1, iy), at(ix+1, iy)
+		ifaceBytes = spLineBytes * float64(ny) * float64(sp.n)
+	} else {
+		pos = iy
+		lo, hi = at(ix, iy-1), at(ix, iy+1)
+		ifaceBytes = spLineBytes * float64(nx) * float64(sp.n)
+	}
+	pts := sp.localPoints(s.rank)
+	half := InstrSPSolve * pts / 2
+	if pos > 0 {
+		s.emit(trace.Recv, 0, 0, lo, 1)
+	}
+	s.emit(trace.Compute, half, 0, -1, spCallsPerPoint*pts/2)
+	if pos < sp.q-1 {
+		s.emit(trace.Send, 0, ifaceBytes, hi, 1)
+	}
+	if pos < sp.q-1 {
+		s.emit(trace.Recv, 0, 0, hi, 1)
+	}
+	s.emit(trace.Compute, half, 0, -1, spCallsPerPoint*pts/2)
+	if pos > 0 {
+		s.emit(trace.Send, 0, ifaceBytes, lo, 1)
+	}
+}
+
+var _ Workload = (*SP)(nil)

@@ -30,7 +30,7 @@ import (
 // replay then consumes the workload's perfect (distortion-free) trace, or,
 // with an AcquisitionSpec, the trace an instrumented run would record.
 type WorkloadSpec struct {
-	// Benchmark is "lu", "cg", "ep", or "mg".
+	// Benchmark is "lu", "cg", "ep", "mg", "bt", "sp", or "ft".
 	Benchmark string `json:"benchmark"`
 	// Class is the NPB problem class letter ("S", "W", "A", "B", "C", "D").
 	Class string `json:"class"`
@@ -56,8 +56,14 @@ func (w *WorkloadSpec) Build() (npb.Workload, error) {
 		return npb.NewEP(class, w.Procs)
 	case "mg":
 		return npb.NewMG(class, w.Procs, w.Iterations)
+	case "bt":
+		return npb.NewBT(class, w.Procs, w.Iterations)
+	case "sp":
+		return npb.NewSP(class, w.Procs, w.Iterations)
+	case "ft":
+		return npb.NewFT(class, w.Procs, w.Iterations)
 	default:
-		return nil, fmt.Errorf("scenario: unknown benchmark %q (want lu, cg, ep, or mg)", w.Benchmark)
+		return nil, fmt.Errorf("scenario: unknown benchmark %q (want lu, cg, ep, mg, bt, sp, or ft)", w.Benchmark)
 	}
 }
 
@@ -154,6 +160,19 @@ type Scenario struct {
 	// from it directly regardless of this knob.
 	TraceCache string `json:"trace_cache,omitempty"`
 
+	// TraceFormat selects a foreign trace importer for the TraceDesc path:
+	// the name of a registered importer ("dumpi", "tau", ...), or "auto" to
+	// sniff the format from the files. Empty means TraceDesc is a native
+	// trace description (or .tib). Foreign dumps are converted in memory on
+	// every run; compile them to .tib (tireplay -import -compile) for
+	// repeated replays.
+	TraceFormat string `json:"trace_format,omitempty"`
+
+	// ImportRate converts CPU seconds into instruction volumes when an
+	// imported dump carries no hardware instruction counter. Zero selects
+	// the importer default (1e9). Only meaningful with TraceFormat.
+	ImportRate float64 `json:"import_rate,omitempty"`
+
 	// Acquisition, with Workload, replays the instrumented acquisition's
 	// trace instead of the perfect one.
 	Acquisition *AcquisitionSpec `json:"acquisition,omitempty"`
@@ -237,9 +256,9 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: %w", s.label(), err)
 		}
 		switch strings.ToLower(s.Workload.Benchmark) {
-		case "lu", "cg", "ep", "mg":
+		case "lu", "cg", "ep", "mg", "bt", "sp", "ft":
 		default:
-			return fmt.Errorf("scenario %s: unknown benchmark %q (want lu, cg, ep, or mg)", s.label(), s.Workload.Benchmark)
+			return fmt.Errorf("scenario %s: unknown benchmark %q (want lu, cg, ep, mg, bt, sp, or ft)", s.label(), s.Workload.Benchmark)
 		}
 	}
 
@@ -254,6 +273,23 @@ func (s *Scenario) Validate() error {
 	}
 	if s.TraceCache != "" && s.TraceDesc == "" {
 		return fmt.Errorf("scenario %s: TraceCache requires a TraceDesc trace source", s.label())
+	}
+
+	if s.TraceFormat != "" {
+		if s.TraceDesc == "" {
+			return fmt.Errorf("scenario %s: TraceFormat requires a TraceDesc trace source", s.label())
+		}
+		if name := strings.ToLower(s.TraceFormat); name != "auto" {
+			if _, ok := trace.LookupImporter(name); !ok {
+				return fmt.Errorf("scenario %s: unknown trace format %q (registered: %v)", s.label(), s.TraceFormat, trace.Importers())
+			}
+		}
+	}
+	if s.ImportRate < 0 {
+		return fmt.Errorf("scenario %s: negative import rate %g", s.label(), s.ImportRate)
+	}
+	if s.ImportRate > 0 && s.TraceFormat == "" {
+		return fmt.Errorf("scenario %s: ImportRate is only meaningful with TraceFormat", s.label())
 	}
 
 	for i, h := range s.HostMapping {
@@ -336,6 +372,11 @@ func (s *Scenario) provider(defaultRanks int) (prov trace.Provider, owned bool, 
 		}
 		return instrument.Acquired{W: w, Cfg: cfg}, false, nil
 	default:
+		if s.TraceFormat != "" {
+			p, err := trace.Import(strings.ToLower(s.TraceFormat), s.TraceDesc,
+				trace.ImportOptions{InstructionRate: s.ImportRate})
+			return p, false, err
+		}
 		ranks := s.Ranks
 		if ranks == 0 {
 			ranks = defaultRanks
@@ -370,7 +411,7 @@ func (s *Scenario) provider(defaultRanks int) (prov trace.Provider, owned bool, 
 // scenarios of a sweep share one compile instead of racing to rebuild the
 // same cache concurrently.
 func (s *Scenario) CompileTraceCache() (tibPath string, rebuilt bool, err error) {
-	if s.TraceDesc == "" || strings.ToLower(s.TraceCache) == "off" || trace.SniffTIB(s.TraceDesc) {
+	if s.TraceDesc == "" || s.TraceFormat != "" || strings.ToLower(s.TraceCache) == "off" || trace.SniffTIB(s.TraceDesc) {
 		return "", false, nil
 	}
 	ranks := s.Ranks

@@ -52,7 +52,17 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		}},
 		{"unknown benchmark", &Scenario{
 			Platform: flatSpec(4),
-			Workload: &WorkloadSpec{Benchmark: "ft", Class: "S", Procs: 4},
+			Workload: &WorkloadSpec{Benchmark: "is", Class: "S", Procs: 4},
+		}},
+		{"trace format without desc", &Scenario{
+			Platform:    flatSpec(4),
+			Workload:    &WorkloadSpec{Benchmark: "lu", Class: "S", Procs: 4},
+			TraceFormat: "dumpi",
+		}},
+		{"unknown trace format", &Scenario{
+			Platform:    flatSpec(4),
+			TraceDesc:   "x.desc",
+			TraceFormat: "no-such-format",
 		}},
 		{"bad class", &Scenario{
 			Platform: flatSpec(4),

@@ -151,6 +151,161 @@ func BenchmarkLargeAlltoAll(b *testing.B) {
 	}
 }
 
+// alltoallvVols builds rank me's per-peer volume vector for the vector
+// benchmark: deterministic, uneven (each pair its own multiple), and jittered
+// above the rendezvous threshold so completions desynchronize.
+func alltoallvVols(me, ranks int) []float64 {
+	vols := make([]float64, ranks)
+	for k := 0; k < ranks; k++ {
+		if k == me {
+			continue
+		}
+		rng := stats.NewRNG(0xa2a5).Fork(uint64(me*ranks + k))
+		vols[k] = 65536 * (1 + rng.Float64()) * float64(1+(me*13+k*7)%4)
+	}
+	return vols
+}
+
+// runLargeAlltoAllV drives the real vector collective — mpi.Rank.AllToAllV's
+// pairwise schedule with per-peer volumes — under the goroutine scheduler.
+func runLargeAlltoAllV(b *testing.B, ranks int) sim.Stats {
+	b.Helper()
+	plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+		Name: "xbar", Hosts: ranks, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(plat)
+	w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		me := rank
+		w.Spawn(rank, func(r *mpi.Rank) {
+			r.AllToAllV(alltoallvVols(me, ranks))
+		})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return e.Stats()
+}
+
+// runLargeAlltoAllVTask is the continuation twin: the TaskRank compiler emits
+// the identical pairwise schedule as micro-ops, no goroutine stacks.
+func runLargeAlltoAllVTask(b *testing.B, ranks int) sim.Stats {
+	b.Helper()
+	plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+		Name: "xbar", Hosts: ranks, Speed: 1e9,
+		LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(plat)
+	w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		me := rank
+		tr := w.TaskRank(rank)
+		done := false
+		w.SpawnProg(rank, func(p *sim.Prog) (bool, error) {
+			if done {
+				return false, nil
+			}
+			done = true
+			tr.AllToAllV(p, alltoallvVols(me, ranks))
+			return true, nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return e.Stats()
+}
+
+// BenchmarkLargeAlltoAllV measures the vector collective at 256 ranks under
+// both schedulers: 255 desynchronized pairwise exchanges per rank, every one
+// with its own payload — the transpose traffic FT-class replays put through
+// the kernel, and a CI guard on the vector-collective hot path.
+func BenchmarkLargeAlltoAllV(b *testing.B) {
+	const ranks = 256
+	for _, sc := range []struct {
+		name string
+		run  func(*testing.B, int) sim.Stats
+	}{
+		{"continuation", runLargeAlltoAllVTask},
+		{"goroutine", runLargeAlltoAllV},
+	} {
+		b.Run(fmt.Sprintf("ranks=%d/%s", ranks, sc.name), func(b *testing.B) {
+			var st sim.Stats
+			for i := 0; i < b.N; i++ {
+				st = sc.run(b, ranks)
+			}
+			b.ReportMetric(float64(st.CommsCompleted), "comms")
+		})
+	}
+}
+
+// TestLargeAlltoAllVSchedulersAgree is the correctness companion: on the
+// vector-collective workload both schedulers must agree bit-identically.
+func TestLargeAlltoAllVSchedulersAgree(t *testing.T) {
+	ranks := 48
+	if testing.Short() {
+		ranks = 16
+	}
+	run := func(task bool) (float64, sim.Stats) {
+		plat, err := platform.NewCrossbarCluster(platform.CrossbarConfig{
+			Name: "xbar", Hosts: ranks, Speed: 1e9,
+			LinkBandwidth: 1.25e9, LinkLatency: 1e-6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.NewEngine(plat)
+		w, err := mpi.NewWorld(e, plat.Hosts(), mpi.ModelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < ranks; rank++ {
+			me := rank
+			if task {
+				tr := w.TaskRank(rank)
+				done := false
+				w.SpawnProg(rank, func(p *sim.Prog) (bool, error) {
+					if done {
+						return false, nil
+					}
+					done = true
+					tr.AllToAllV(p, alltoallvVols(me, ranks))
+					return true, nil
+				})
+			} else {
+				w.Spawn(rank, func(r *mpi.Rank) {
+					r.AllToAllV(alltoallvVols(me, ranks))
+				})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Stats()
+	}
+	endC, statsC := run(true)
+	endG, statsG := run(false)
+	if endC != endG {
+		t.Fatalf("end time %v (continuation) != %v (goroutine)", endC, endG)
+	}
+	if statsC != statsG {
+		t.Fatalf("stats diverge:\n continuation: %+v\n goroutine:    %+v", statsC, statsG)
+	}
+}
+
 // TestLargeAlltoAllSchedulersAgree is the correctness companion of the
 // scheduler benchmark: on the same workload, goroutine and continuation
 // execution must agree bit-identically on end time and on every engine

@@ -128,6 +128,18 @@ func (e *Engine) newComm() *Comm {
 // Comm they can still reference out of the pool.
 func (c *Comm) retain() { c.refs++ }
 
+// removeWaiter deletes one registration of p from c's waiter list,
+// preserving the wake order of the others. Wait-any registers a process on
+// several comms at once and must scrub the losers after every wake.
+func (c *Comm) removeWaiter(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
 // release drops one holder and recycles the comm if possible.
 func (c *Comm) release() {
 	c.refs--

@@ -41,10 +41,10 @@ type Proc struct {
 // the reason eagerly cost two allocations on every blocking primitive,
 // which dominated large replays.
 type blockInfo struct {
-	what string  // "sleep", "wait", "barrier"
+	what string  // "sleep", "wait", "waitany", "barrier"
 	comm *Comm   // wait only
 	amt  float64 // sleep duration
-	n, m int     // barrier arrived/party counts
+	n, m int     // barrier arrived/party counts; waitany comm count
 }
 
 func (b blockInfo) String() string {
@@ -53,6 +53,8 @@ func (b blockInfo) String() string {
 		return fmt.Sprintf("sleep(%g)", b.amt)
 	case "wait":
 		return fmt.Sprintf("wait(comm %d on %q)", b.comm.ID, b.comm.Mailbox())
+	case "waitany":
+		return fmt.Sprintf("waitany(%d comms)", b.n)
 	case "barrier":
 		return fmt.Sprintf("barrier(%d/%d)", b.n, b.m)
 	}
@@ -305,6 +307,44 @@ func (p *Proc) WaitComm(c *Comm) {
 func (p *Proc) WaitAll(cs []*Comm) {
 	for _, c := range cs {
 		p.WaitComm(c)
+	}
+}
+
+// WaitAnyComm blocks until at least one comm in cs has completed and
+// returns the index of the lowest-indexed completed one. While no comm is
+// done it registers as a waiter on every comm; on each wake it deregisters
+// from all of them before rescanning — a waiter entry left behind on a comm
+// that completes later would falsely wake this process out of an unrelated
+// block (the engine's wake only checks that the process is blocked, not
+// what on).
+func (p *Proc) WaitAnyComm(cs []*Comm) int {
+	if len(cs) == 0 {
+		p.faultf("wait-any on empty comm set")
+	}
+	for _, c := range cs {
+		if c == nil {
+			p.faultf("wait-any on nil comm")
+		}
+		if c.engine != p.engine {
+			p.faultf("wait-any on comm from another engine")
+		}
+	}
+	for {
+		for i, c := range cs {
+			if c.Done() {
+				return i
+			}
+		}
+		for _, c := range cs {
+			if c.waiters == nil {
+				c.waiters = c.waiterBuf[:0]
+			}
+			c.waiters = append(c.waiters, p)
+		}
+		p.block(blockInfo{what: "waitany", n: len(cs)})
+		for _, c := range cs {
+			c.removeWaiter(p)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ const (
 	opWaitReg                       // block until regs[reg] completes, then release it
 	opWaitPend                      // block until the oldest pending op completes
 	opWaitAllPend                   // block until every pending op completes, FIFO
+	opWaitAnyPend                   // block until any pending op completes; consume the lowest-indexed
 	opAwait                         // arrive at bar
 )
 
@@ -120,6 +121,13 @@ func (p *Prog) WaitPending() {
 // (trace waitall).
 func (p *Prog) WaitAllPending() {
 	p.ops = append(p.ops, progOp{kind: opWaitAllPend})
+}
+
+// WaitAnyPending compiles waiting until any pending operation completes
+// (trace waitany); the lowest-indexed completed one is consumed, the rest
+// stay outstanding. Trace waitsome lowers to a run of these.
+func (p *Prog) WaitAnyPending() {
+	p.ops = append(p.ops, progOp{kind: opWaitAnyPend})
 }
 
 // Await compiles Barrier.Await.
@@ -252,6 +260,55 @@ func (m *progMachine) step(t *Task) Step {
 				c.release()
 			}
 			m.popPending()
+			m.pc++
+		case opWaitAnyPend:
+			if m.head >= len(m.pending) {
+				p.faultf("wait-any with no outstanding operations")
+			}
+			// Scrub stale registrations from a previous block on this op:
+			// the completion that woke us cleared its own waiter list, but
+			// the other comms still hold ours, and a stale entry would wake
+			// this process out of whatever it blocks on next. Mirrors the
+			// deregistration pass in Proc.WaitAnyComm exactly.
+			for i := m.head; i < len(m.pending); i++ {
+				if c := m.pending[i]; c != nil && !c.Done() {
+					c.removeWaiter(p)
+				}
+			}
+			sel := -1
+			for i := m.head; i < len(m.pending); i++ {
+				if c := m.pending[i]; c == nil || c.Done() {
+					sel = i
+					break
+				}
+			}
+			if sel < 0 {
+				n := 0
+				for i := m.head; i < len(m.pending); i++ {
+					c := m.pending[i]
+					if c.waiters == nil {
+						c.waiters = c.waiterBuf[:0]
+					}
+					c.waiters = append(c.waiters, p)
+					n++
+				}
+				p.state = procBlocked
+				p.blockedOn = blockInfo{what: "waitany", n: n}
+				return Blocked
+			}
+			if c := m.pending[sel]; c != nil {
+				m.pending[sel] = nil
+				c.release()
+			}
+			if sel == m.head {
+				m.popPending()
+			} else {
+				// Consume a middle entry: shift the tail down so the FIFO
+				// order of the survivors is preserved.
+				copy(m.pending[sel:], m.pending[sel+1:])
+				m.pending[len(m.pending)-1] = nil
+				m.pending = m.pending[:len(m.pending)-1]
+			}
 			m.pc++
 		case opWaitAllPend:
 			blocked := false

@@ -16,12 +16,17 @@
 // are accepted. Rank tokens may be written "p3" or plain "3".
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Kind enumerates the action types of the time-independent format.
 type Kind int
 
-// Action kinds.
+// Action kinds. New kinds append after AllGather: the numeric values are the
+// TIB wire encoding, so reordering would silently re-interpret old files.
 const (
 	Init Kind = iota
 	Finalize
@@ -39,25 +44,40 @@ const (
 	AllToAll
 	Gather
 	AllGather
+	// Kinds below require TIB v2 (vector collectives and wait-handle sets).
+	AllToAllV
+	AllGatherV
+	WaitAny
+	WaitSome
+)
+
+// maxKindV1 and maxKindV2 bound the kinds each TIB format version may carry.
+const (
+	maxKindV1 = AllGather
+	maxKindV2 = WaitSome
 )
 
 var kindNames = map[Kind]string{
-	Init:      "init",
-	Finalize:  "finalize",
-	Compute:   "compute",
-	Send:      "send",
-	ISend:     "isend",
-	Recv:      "recv",
-	IRecv:     "irecv",
-	Wait:      "wait",
-	WaitAll:   "waitall",
-	Barrier:   "barrier",
-	Bcast:     "bcast",
-	Reduce:    "reduce",
-	AllReduce: "allreduce",
-	AllToAll:  "alltoall",
-	Gather:    "gather",
-	AllGather: "allgather",
+	Init:       "init",
+	Finalize:   "finalize",
+	Compute:    "compute",
+	Send:       "send",
+	ISend:      "isend",
+	Recv:       "recv",
+	IRecv:      "irecv",
+	Wait:       "wait",
+	WaitAll:    "waitall",
+	Barrier:    "barrier",
+	Bcast:      "bcast",
+	Reduce:     "reduce",
+	AllReduce:  "allreduce",
+	AllToAll:   "alltoall",
+	Gather:     "gather",
+	AllGather:  "allgather",
+	AllToAllV:  "alltoallv",
+	AllGatherV: "allgatherv",
+	WaitAny:    "waitany",
+	WaitSome:   "waitsome",
 }
 
 var kindByName = func() map[string]Kind {
@@ -87,10 +107,17 @@ func (k Kind) HasPeer() bool {
 // IsCollective reports whether the kind is a collective operation.
 func (k Kind) IsCollective() bool {
 	switch k {
-	case Barrier, Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather:
+	case Barrier, Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather,
+		AllToAllV, AllGatherV:
 		return true
 	}
 	return false
+}
+
+// HasVolumes reports whether actions of this kind carry a per-peer byte
+// vector (one entry per rank of the communicator).
+func (k Kind) HasVolumes() bool {
+	return k == AllToAllV || k == AllGatherV
 }
 
 // Action is one event of a time-independent trace.
@@ -110,6 +137,33 @@ type Action struct {
 	Bytes float64
 	// Root is the root rank of rooted collectives (Bcast, Reduce, Gather).
 	Root int
+	// Volumes is the per-peer byte vector of vector collectives: for
+	// AllToAllV, Volumes[k] is what this rank sends to rank k; for
+	// AllGatherV, Volumes[k] is rank k's contribution (identical on every
+	// rank). One entry per rank of the communicator.
+	Volumes []float64
+	// Count is the completion count of WaitSome (how many of the oldest
+	// outstanding requests to wait for).
+	Count int
+}
+
+// Equal reports whether two actions are identical, comparing the volume
+// vectors element-wise. Action is not a comparable type (Volumes is a
+// slice); every structural comparison must go through Equal.
+func (a Action) Equal(b Action) bool {
+	if a.Rank != b.Rank || a.Kind != b.Kind || a.Instructions != b.Instructions ||
+		a.Peer != b.Peer || a.Bytes != b.Bytes || a.Root != b.Root || a.Count != b.Count {
+		return false
+	}
+	if len(a.Volumes) != len(b.Volumes) {
+		return false
+	}
+	for i := range a.Volumes {
+		if a.Volumes[i] != b.Volumes[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the action in the canonical trace text form.
@@ -131,6 +185,15 @@ func (a Action) String() string {
 		return fmt.Sprintf("p%d %s %.0f", a.Rank, a.Kind, a.Bytes)
 	case AllReduce, AllToAll, AllGather:
 		return fmt.Sprintf("p%d %s %.0f", a.Rank, a.Kind, a.Bytes)
+	case AllToAllV, AllGatherV:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "p%d %s", a.Rank, a.Kind)
+		for _, v := range a.Volumes {
+			fmt.Fprintf(&sb, " %s", strconv.FormatFloat(v, 'f', -1, 64))
+		}
+		return sb.String()
+	case WaitSome:
+		return fmt.Sprintf("p%d %s %d", a.Rank, a.Kind, a.Count)
 	default:
 		return fmt.Sprintf("p%d %s", a.Rank, a.Kind)
 	}
@@ -169,6 +232,51 @@ func (a Action) Validate() error {
 		}
 		if a.Root < 0 {
 			return fmt.Errorf("trace: p%d %s with negative root %d", a.Rank, a.Kind, a.Root)
+		}
+	case AllToAllV, AllGatherV:
+		if len(a.Volumes) == 0 {
+			return fmt.Errorf("trace: p%d %s without volume vector", a.Rank, a.Kind)
+		}
+		for i, v := range a.Volumes {
+			if v < 0 {
+				return fmt.Errorf("trace: p%d %s with negative volume %g for rank %d", a.Rank, a.Kind, v, i)
+			}
+		}
+	case WaitSome:
+		if a.Count < 1 {
+			return fmt.Errorf("trace: p%d waitsome with non-positive count %d", a.Rank, a.Count)
+		}
+	}
+	return nil
+}
+
+// ValidateIn is Validate plus the checks that need the communicator size:
+// peers and roots must name ranks inside the world, and volume vectors must
+// carry exactly one entry per rank. world <= 0 skips the sized checks.
+func (a Action) ValidateIn(world int) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if world <= 0 {
+		return nil
+	}
+	if a.Rank >= world {
+		return fmt.Errorf("trace: rank p%d outside communicator of size %d", a.Rank, world)
+	}
+	if a.Kind.HasPeer() && a.Peer >= world {
+		return fmt.Errorf("trace: p%d %s peer p%d outside communicator of size %d",
+			a.Rank, a.Kind, a.Peer, world)
+	}
+	switch a.Kind {
+	case Bcast, Reduce, Gather:
+		if a.Root >= world {
+			return fmt.Errorf("trace: p%d %s root p%d outside communicator of size %d",
+				a.Rank, a.Kind, a.Root, world)
+		}
+	case AllToAllV, AllGatherV:
+		if len(a.Volumes) != world {
+			return fmt.Errorf("trace: p%d %s carries %d volumes for a communicator of size %d",
+				a.Rank, a.Kind, len(a.Volumes), world)
 		}
 	}
 	return nil

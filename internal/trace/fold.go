@@ -58,7 +58,7 @@ func Fold(actions []Action) FoldedTrace {
 			limit = n - i
 		}
 		for L := 1; L <= limit/2; L++ {
-			if actions[i+L] != actions[i] {
+			if !actions[i+L].Equal(actions[i]) {
 				continue
 			}
 			// Verify how many times the block [i, i+L) repeats.
@@ -93,7 +93,7 @@ func Fold(actions []Action) FoldedTrace {
 
 func equalBlocks(a, b []Action) bool {
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Equal(b[i]) {
 			return false
 		}
 	}
@@ -173,6 +173,7 @@ func WriteFolded(w io.Writer, actions []Action) error {
 type expandingReader struct {
 	rd     *Reader
 	filter int // < 0 keeps all ranks
+	world  int // > 0 enables communicator-sized validation
 	// current loop state.
 	body      []Action
 	remaining int // repetitions left after the buffered one
@@ -182,18 +183,26 @@ type expandingReader struct {
 // NewExpandingReader reads a trace that may be folded (detected via the
 // @folded header) or plain. filter < 0 keeps all ranks.
 func NewExpandingReader(r io.Reader, filter int) Stream {
+	return NewExpandingWorldReader(r, filter, 0)
+}
+
+// NewExpandingWorldReader is NewExpandingReader with communicator-sized
+// validation: world > 0 rejects out-of-range peers, roots, and volume-vector
+// lengths at read time, with the offending line number.
+func NewExpandingWorldReader(r io.Reader, filter, world int) Stream {
 	br := bufio.NewReaderSize(r, 64*1024)
 	head, _ := br.Peek(len(foldedHeader))
 	if string(head) != foldedHeader {
 		rd := NewReader(br)
 		rd.filter = filter
+		rd.world = world
 		return rd
 	}
 	// Consume the header line.
 	if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
 		return &errStream{err: err}
 	}
-	return &expandingReader{rd: NewReader(br), filter: filter}
+	return &expandingReader{rd: NewReader(br), filter: filter, world: world}
 }
 
 type errStream struct{ err error }
@@ -209,6 +218,11 @@ func (e *expandingReader) Next() (Action, bool, error) {
 		}
 		if e.filter >= 0 && a.Rank != e.filter {
 			continue
+		}
+		if e.world > 0 {
+			if err := a.ValidateIn(e.world); err != nil {
+				return Action{}, false, fmt.Errorf("line %d: %w", e.rd.line, err)
+			}
 		}
 		return a, true, nil
 	}

@@ -1,0 +1,110 @@
+package trace
+
+// Synthetic trace mixes exercising the extended action vocabulary. Real
+// dumps carrying alltoallv/waitany patterns are bulky; these generators
+// produce small, deterministic, cross-rank-consistent traces for robustness
+// tests and tracegen's -mix mode, with no acquisition toolchain in the loop.
+
+import "fmt"
+
+// SyntheticMixes lists the supported generator names.
+func SyntheticMixes() []string { return []string{"alltoallv", "waitany"} }
+
+// SyntheticMix generates a per-rank action set for one of the named mixes:
+//
+//   - "alltoallv": iterations of compute + unevenly-loaded alltoallv +
+//     allgatherv (every other iteration) + a scalar allreduce — the
+//     transpose-style traffic of FT-class workloads.
+//   - "waitany": iterations of isend/irecv bursts to the two nearest
+//     neighbors drained by waitany + waitsome + wait — out-of-order
+//     completion stress for the wait-set machinery.
+//
+// bytes scales the payloads (the alltoallv vectors are deliberately uneven
+// multiples of it). The result is deterministic in its arguments.
+func SyntheticMix(mix string, ranks, iters int, bytes float64) ([][]Action, error) {
+	if ranks < 2 {
+		return nil, fmt.Errorf("trace: synthetic mix needs at least 2 ranks, got %d", ranks)
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("trace: synthetic mix needs at least 1 iteration, got %d", iters)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("trace: synthetic mix needs a positive payload, got %g", bytes)
+	}
+	switch mix {
+	case "alltoallv":
+		return mixAllToAllV(ranks, iters, bytes), nil
+	case "waitany":
+		return mixWaitAny(ranks, iters, bytes), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown synthetic mix %q (have %v)", mix, SyntheticMixes())
+	}
+}
+
+func mixAllToAllV(ranks, iters int, bytes float64) [][]Action {
+	perRank := make([][]Action, ranks)
+	for r := 0; r < ranks; r++ {
+		actions := []Action{{Rank: r, Kind: Init, Peer: -1}}
+		for it := 0; it < iters; it++ {
+			actions = append(actions, Action{Rank: r, Kind: Compute, Peer: -1,
+				Instructions: 1e5 * float64(1+(r+it)%4)})
+			// Uneven per-peer volumes: each pair gets its own multiple of
+			// the base payload, different per iteration.
+			vols := make([]float64, ranks)
+			for k := 0; k < ranks; k++ {
+				if k == r {
+					continue
+				}
+				vols[k] = bytes * float64(1+(r*31+k*17+it*7)%5)
+			}
+			actions = append(actions, Action{Rank: r, Kind: AllToAllV, Peer: -1, Volumes: vols})
+			if it%2 == 1 {
+				// Allgatherv contributions depend only on the contributing
+				// rank (and the iteration), so every rank records the same
+				// vector — the consistency replay requires.
+				gvols := make([]float64, ranks)
+				for k := 0; k < ranks; k++ {
+					gvols[k] = bytes * float64(1+(k+it)%3)
+				}
+				actions = append(actions, Action{Rank: r, Kind: AllGatherV, Peer: -1, Volumes: gvols})
+			}
+			actions = append(actions, Action{Rank: r, Kind: AllReduce, Peer: -1, Bytes: 8})
+		}
+		perRank[r] = append(actions, Action{Rank: r, Kind: Finalize, Peer: -1})
+	}
+	return perRank
+}
+
+func mixWaitAny(ranks, iters int, bytes float64) [][]Action {
+	perRank := make([][]Action, ranks)
+	for r := 0; r < ranks; r++ {
+		actions := []Action{{Rank: r, Kind: Init, Peer: -1}}
+		for it := 0; it < iters; it++ {
+			actions = append(actions, Action{Rank: r, Kind: Compute, Peer: -1,
+				Instructions: 5e4 * float64(1+(r+2*it)%3)})
+			next, prev := (r+1)%ranks, (r-1+ranks)%ranks
+			actions = append(actions,
+				Action{Rank: r, Kind: ISend, Peer: next, Bytes: bytes},
+				Action{Rank: r, Kind: IRecv, Peer: prev, Bytes: bytes})
+			if ranks > 2 {
+				next2, prev2 := (r+2)%ranks, (r-2+ranks)%ranks
+				actions = append(actions,
+					Action{Rank: r, Kind: ISend, Peer: next2, Bytes: 2 * bytes},
+					Action{Rank: r, Kind: IRecv, Peer: prev2, Bytes: 2 * bytes})
+				// Four outstanding requests, drained out of order:
+				// whichever finishes first, then two more, then the last.
+				actions = append(actions,
+					Action{Rank: r, Kind: WaitAny, Peer: -1},
+					Action{Rank: r, Kind: WaitSome, Peer: -1, Count: 2},
+					Action{Rank: r, Kind: Wait, Peer: -1})
+			} else {
+				actions = append(actions,
+					Action{Rank: r, Kind: WaitAny, Peer: -1},
+					Action{Rank: r, Kind: Wait, Peer: -1})
+			}
+		}
+		actions = append(actions, Action{Rank: r, Kind: Barrier, Peer: -1})
+		perRank[r] = append(actions, Action{Rank: r, Kind: Finalize, Peer: -1})
+	}
+	return perRank
+}

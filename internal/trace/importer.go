@@ -1,0 +1,134 @@
+package trace
+
+// Importer registry: the pluggable front door of the action pipeline. A
+// trace acquired by a foreign toolchain (an SST DUMPI ASCII dump, a TAU
+// profile folder) is folded into per-rank time-independent action streams by
+// an Importer, after which the rest of the pipeline — validation, TIB
+// compilation, replay — treats it exactly like a native trace set.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ImportOptions tunes how foreign volumes are mapped onto trace actions.
+type ImportOptions struct {
+	// InstructionRate converts CPU seconds into instruction volumes when the
+	// dump carries no hardware instruction counter (the paper calibrates
+	// this per machine; PAPI_TOT_INS deltas are used directly when present).
+	// Zero selects DefaultInstructionRate.
+	InstructionRate float64
+}
+
+// DefaultInstructionRate is the CPU-time-to-instructions conversion used
+// when a dump has no instruction counter and the caller gives no rate:
+// one giga-instruction per CPU second, the order of magnitude of the
+// paper's calibrated machines.
+const DefaultInstructionRate = 1e9
+
+func (o ImportOptions) rate() float64 {
+	if o.InstructionRate > 0 {
+		return o.InstructionRate
+	}
+	return DefaultInstructionRate
+}
+
+// Importer converts one foreign trace layout into a trace Provider.
+type Importer struct {
+	// Name identifies the format ("dumpi", "tau").
+	Name string
+	// Sniff reports whether path (a file or directory) looks like this
+	// format. It must be cheap: registry sniffing probes every importer.
+	Sniff func(path string) bool
+	// Open folds the foreign trace at path into per-rank action streams.
+	Open func(path string, opts ImportOptions) (Provider, error)
+}
+
+var (
+	importerMu  sync.RWMutex
+	importers   = make(map[string]Importer)
+	importOrder []string
+)
+
+// RegisterImporter adds a trace importer to the registry. Importers
+// self-register from init functions; registering a duplicate name panics.
+func RegisterImporter(name string, sniff func(string) bool, open func(string, ImportOptions) (Provider, error)) {
+	if name == "" || sniff == nil || open == nil {
+		panic("trace: RegisterImporter with empty name or nil hooks")
+	}
+	importerMu.Lock()
+	defer importerMu.Unlock()
+	if _, dup := importers[name]; dup {
+		panic(fmt.Sprintf("trace: importer %q registered twice", name))
+	}
+	importers[name] = Importer{Name: name, Sniff: sniff, Open: open}
+	importOrder = append(importOrder, name)
+}
+
+// Importers lists the registered importer names, sorted.
+func Importers() []string {
+	importerMu.RLock()
+	defer importerMu.RUnlock()
+	names := make([]string, 0, len(importers))
+	for n := range importers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupImporter returns the importer registered under name.
+func LookupImporter(name string) (Importer, bool) {
+	importerMu.RLock()
+	defer importerMu.RUnlock()
+	imp, ok := importers[name]
+	return imp, ok
+}
+
+// SniffImport probes every registered importer (in registration order) and
+// returns the name of the first whose Sniff accepts path.
+func SniffImport(path string) (string, bool) {
+	importerMu.RLock()
+	defer importerMu.RUnlock()
+	for _, name := range importOrder {
+		if importers[name].Sniff(path) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Import opens a foreign trace. format names a registered importer, or "" /
+// "auto" to sniff the path against every importer.
+func Import(format, path string, opts ImportOptions) (Provider, error) {
+	if format == "" || format == "auto" {
+		name, ok := SniffImport(path)
+		if !ok {
+			return nil, fmt.Errorf("trace: no registered importer recognizes %s (have %v)", path, Importers())
+		}
+		format = name
+	}
+	imp, ok := LookupImporter(format)
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown trace format %q (have %v)", format, Importers())
+	}
+	return imp.Open(path, opts)
+}
+
+// ImportCompile imports a foreign trace and compiles it straight to a .tib
+// file — the ingestion path of `tireplay -import`: pay the foreign parse
+// once, replay from the binary form ever after.
+func ImportCompile(format, path, tibPath string, opts ImportOptions) (ranks int, err error) {
+	p, err := Import(format, path, opts)
+	if err != nil {
+		return 0, err
+	}
+	if c, ok := p.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	if err := Compile(p, tibPath, [32]byte{}, 0); err != nil {
+		return 0, err
+	}
+	return p.NumRanks(), nil
+}

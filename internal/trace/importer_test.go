@@ -1,0 +1,403 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeDUMPISample lays out a two-rank dumpi2ascii dump set covering the
+// importer's whole mapping: p2p calls with datatype sizes, vector
+// collectives with counts arrays, wait-set drains, CPU-time compute gaps,
+// and one PAPI_TOT_INS-delimited gap. The two ranks are cross-rank
+// consistent, so the result also validates and replays.
+func writeDUMPISample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	rank0 := `
+MPI_Init entering at walltime 10.0, cputime 0 seconds in thread 0.
+MPI_Init returning at walltime 10.5, cputime 1 seconds in thread 0.
+MPI_Send entering at walltime 11.0, cputime 3 seconds in thread 0.
+int count=256
+datatype=11 (MPI_DOUBLE)
+int dest=1
+int tag=0
+MPI_Comm comm=2 (MPI_COMM_WORLD)
+MPI_Send returning at walltime 11.1, cputime 3 seconds in thread 0.
+PAPI_TOT_INS = 5000000
+MPI_Alltoallv entering at walltime 12.0, cputime 4 seconds in thread 0.
+PAPI_TOT_INS = 8000000
+int sendcounts[2]={16, 32}
+int senddispls[2]={0, 16}
+sendtype=11 (MPI_DOUBLE)
+int recvcounts[2]={16, 32}
+MPI_Alltoallv returning at walltime 12.5, cputime 4 seconds in thread 0.
+MPI_Isend entering at walltime 13.0, cputime 4 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int dest=1
+MPI_Isend returning at walltime 13.0, cputime 4 seconds in thread 0.
+MPI_Irecv entering at walltime 13.1, cputime 4 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int source=1
+MPI_Irecv returning at walltime 13.1, cputime 4 seconds in thread 0.
+MPI_Waitany entering at walltime 13.2, cputime 4 seconds in thread 0.
+MPI_Waitany returning at walltime 13.3, cputime 4 seconds in thread 0.
+MPI_Wait entering at walltime 13.4, cputime 4 seconds in thread 0.
+MPI_Wait returning at walltime 13.5, cputime 4 seconds in thread 0.
+MPI_Allgatherv entering at walltime 14.0, cputime 5 seconds in thread 0.
+int recvcounts[2]={8, 24}
+recvtype=11 (MPI_DOUBLE)
+MPI_Allgatherv returning at walltime 14.2, cputime 5 seconds in thread 0.
+MPI_Finalize entering at walltime 15.0, cputime 6 seconds in thread 0.
+MPI_Finalize returning at walltime 15.1, cputime 6 seconds in thread 0.
+`
+	rank1 := `
+MPI_Init entering at walltime 10.0, cputime 0 seconds in thread 0.
+MPI_Init returning at walltime 10.5, cputime 1 seconds in thread 0.
+MPI_Recv entering at walltime 11.0, cputime 2 seconds in thread 0.
+int count=256
+datatype=11 (MPI_DOUBLE)
+int source=0
+MPI_Recv returning at walltime 11.2, cputime 2 seconds in thread 0.
+MPI_Alltoallv entering at walltime 12.0, cputime 3 seconds in thread 0.
+int sendcounts[2]={16, 32}
+sendtype=11 (MPI_DOUBLE)
+MPI_Alltoallv returning at walltime 12.5, cputime 3 seconds in thread 0.
+MPI_Isend entering at walltime 13.0, cputime 3 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int dest=0
+MPI_Isend returning at walltime 13.0, cputime 3 seconds in thread 0.
+MPI_Irecv entering at walltime 13.1, cputime 3 seconds in thread 0.
+int count=64
+datatype=2 (MPI_CHAR)
+int source=0
+MPI_Irecv returning at walltime 13.1, cputime 3 seconds in thread 0.
+MPI_Waitsome entering at walltime 13.2, cputime 3 seconds in thread 0.
+int incount=2
+int outcount=2
+MPI_Waitsome returning at walltime 13.3, cputime 3 seconds in thread 0.
+MPI_Allgatherv entering at walltime 14.0, cputime 4 seconds in thread 0.
+int recvcounts[2]={8, 24}
+recvtype=11 (MPI_DOUBLE)
+MPI_Allgatherv returning at walltime 14.2, cputime 4 seconds in thread 0.
+MPI_Finalize entering at walltime 15.0, cputime 5 seconds in thread 0.
+MPI_Finalize returning at walltime 15.1, cputime 5 seconds in thread 0.
+`
+	for i, body := range []string{rank0, rank1} {
+		name := filepath.Join(dir, "dumpi-2026.08.08-000"+string(rune('0'+i))+".txt")
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dumpi-2026.08.08.meta"),
+		[]byte("hostname=node0\nnumprocs=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDUMPIImport(t *testing.T) {
+	dir := writeDUMPISample(t)
+	p, err := Import("dumpi", dir, ImportOptions{InstructionRate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeProvider(t, p)
+	want := [][]Action{
+		{
+			{Rank: 0, Kind: Init, Peer: -1},
+			{Rank: 0, Kind: Compute, Instructions: 2e6, Peer: -1}, // cputime gap 2 s at 1e6/s
+			{Rank: 0, Kind: Send, Bytes: 2048, Peer: 1},           // 256 doubles
+			{Rank: 0, Kind: Compute, Instructions: 3e6, Peer: -1}, // PAPI_TOT_INS delta, not the 1 s gap
+			{Rank: 0, Kind: AllToAllV, Peer: -1, Volumes: []float64{128, 256}},
+			{Rank: 0, Kind: ISend, Bytes: 64, Peer: 1}, // 64 chars
+			{Rank: 0, Kind: IRecv, Bytes: 64, Peer: 1},
+			{Rank: 0, Kind: WaitAny, Peer: -1},
+			{Rank: 0, Kind: Wait, Peer: -1},
+			{Rank: 0, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 0, Kind: AllGatherV, Peer: -1, Volumes: []float64{64, 192}},
+			{Rank: 0, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 0, Kind: Finalize, Peer: -1},
+		},
+		{
+			{Rank: 1, Kind: Init, Peer: -1},
+			{Rank: 1, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 1, Kind: Recv, Bytes: 2048, Peer: 0},
+			{Rank: 1, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 1, Kind: AllToAllV, Peer: -1, Volumes: []float64{128, 256}},
+			{Rank: 1, Kind: ISend, Bytes: 64, Peer: 0},
+			{Rank: 1, Kind: IRecv, Bytes: 64, Peer: 0},
+			{Rank: 1, Kind: WaitSome, Peer: -1, Count: 2},
+			{Rank: 1, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 1, Kind: AllGatherV, Peer: -1, Volumes: []float64{64, 192}},
+			{Rank: 1, Kind: Compute, Instructions: 1e6, Peer: -1},
+			{Rank: 1, Kind: Finalize, Peer: -1},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dumpi import mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The folded streams are a well-formed trace: cross-rank validation and
+	// the TIB compiler both accept them.
+	if err := Validate(NewMemProvider(got)); err != nil {
+		t.Fatalf("imported trace does not validate: %v", err)
+	}
+}
+
+func TestDUMPIImportErrors(t *testing.T) {
+	t.Run("missing rank", func(t *testing.T) {
+		dir := t.TempDir()
+		body := "MPI_Init entering at walltime 1.0, cputime 0 seconds in thread 0.\n" +
+			"MPI_Init returning at walltime 1.1, cputime 0 seconds in thread 0.\n"
+		if err := os.WriteFile(filepath.Join(dir, "d-0.txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "d-2.txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Import("dumpi", dir, ImportOptions{}); err == nil {
+			t.Fatal("accepted a dump set with a missing rank")
+		}
+	})
+
+	t.Run("meta mismatch", func(t *testing.T) {
+		dir := writeDUMPISample(t)
+		if err := os.WriteFile(filepath.Join(dir, "dumpi-2026.08.08.meta"),
+			[]byte("numprocs=4\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Import("dumpi", dir, ImportOptions{}); err == nil {
+			t.Fatal("accepted a dump set contradicting its .meta rank count")
+		}
+	})
+
+	t.Run("truncated block", func(t *testing.T) {
+		dir := t.TempDir()
+		body := "MPI_Send entering at walltime 1.0, cputime 0 seconds in thread 0.\nint dest=1\n"
+		if err := os.WriteFile(filepath.Join(dir, "d-0.txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Import("dumpi", dir, ImportOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Rank(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := st.Next()
+			if err != nil {
+				if !strings.Contains(err.Error(), "EOF inside MPI_Send") {
+					t.Fatalf("unexpected error text: %v", err)
+				}
+				return
+			}
+			if !ok {
+				t.Fatal("truncated call block decoded without error")
+			}
+		}
+	})
+
+	t.Run("bad counts arity", func(t *testing.T) {
+		dir := writeDUMPISample(t)
+		// A 3-entry sendcounts in a 2-rank world must fail, naming the line.
+		body := `
+MPI_Alltoallv entering at walltime 1.0, cputime 0 seconds in thread 0.
+int sendcounts[3]={1, 2, 3}
+MPI_Alltoallv returning at walltime 1.5, cputime 0 seconds in thread 0.
+`
+		if err := os.WriteFile(filepath.Join(dir, "dumpi-2026.08.08-0000.txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Import("dumpi", dir, ImportOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Rank(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = st.Next()
+		if err == nil || !strings.Contains(err.Error(), "2 ranks") {
+			t.Fatalf("want counts-arity error, got %v", err)
+		}
+	})
+}
+
+// writeTAUSample lays out a two-rank TAU profile folder.
+func writeTAUSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	profile := `5 templated_functions_MULTI_TIME
+# Name Calls Subrs Excl Incl ProfileCalls
+".TAU application" 1 10 2000000 9000000 0 GROUP="TAU_DEFAULT"
+"MPI_Allreduce()" 5 0 300000 300000 0 GROUP="MPI"
+"MPI_Barrier()" 2 0 100000 100000 0 GROUP="MPI"
+"MPI_Send()" 4 0 50000 50000 0 GROUP="MPI"
+"MPI_Recv()" 4 0 60000 60000 0 GROUP="MPI"
+0 aggregates
+2 userevents
+# eventname numevents max min mean sumsqr
+"Message size for all-reduce" 5 40 40 40 0
+"Message size for send" 4 100 100 100 0
+`
+	for r := 0; r < 2; r++ {
+		name := filepath.Join(dir, "profile."+string(rune('0'+r))+".0.0")
+		if err := os.WriteFile(name, []byte(profile), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestTAUImport(t *testing.T) {
+	dir := writeTAUSample(t)
+	p, err := Import("tau", dir, ImportOptions{InstructionRate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRanks() != 2 {
+		t.Fatalf("NumRanks = %d, want 2", p.NumRanks())
+	}
+	got := materializeProvider(t, p)
+	// Per rank: init, the non-MPI exclusive time as compute (2 CPU seconds
+	// at 1e6), the unpaired p2p volume folded into one symmetric alltoall
+	// (4 sends x 100 B spread over world-1 = 400 B), the profiled
+	// collectives at their call counts, finalize.
+	want := []Action{
+		{Rank: 0, Kind: Init, Peer: -1},
+		{Rank: 0, Kind: Compute, Instructions: 2e6, Peer: -1},
+		{Rank: 0, Kind: AllToAll, Bytes: 400, Peer: -1},
+		{Rank: 0, Kind: Barrier, Peer: -1},
+		{Rank: 0, Kind: Barrier, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+		{Rank: 0, Kind: Finalize, Peer: -1},
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("tau import mismatch:\ngot  %+v\nwant %+v", got[0], want)
+	}
+	// Identical profiles on every rank: the synthesized trace is symmetric
+	// and passes cross-rank validation.
+	if err := Validate(NewMemProvider(got)); err != nil {
+		t.Fatalf("synthesized trace does not validate: %v", err)
+	}
+}
+
+func TestImportSniffing(t *testing.T) {
+	dumpiDir := writeDUMPISample(t)
+	tauDir := writeTAUSample(t)
+
+	if name, ok := SniffImport(dumpiDir); !ok || name != "dumpi" {
+		t.Fatalf("SniffImport(dumpi dir) = %q, %v", name, ok)
+	}
+	if name, ok := SniffImport(tauDir); !ok || name != "tau" {
+		t.Fatalf("SniffImport(tau dir) = %q, %v", name, ok)
+	}
+	if _, ok := SniffImport(t.TempDir()); ok {
+		t.Fatal("SniffImport accepted an empty directory")
+	}
+
+	// "auto" resolves through the same sniffing.
+	p, err := Import("auto", tauDir, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRanks() != 2 {
+		t.Fatalf("auto-sniffed tau import has %d ranks, want 2", p.NumRanks())
+	}
+
+	if _, err := Import("hpctoolkit", dumpiDir, ImportOptions{}); err == nil {
+		t.Fatal("unknown format name accepted")
+	}
+	if _, err := Import("auto", t.TempDir(), ImportOptions{}); err == nil {
+		t.Fatal("unsniffable path accepted")
+	}
+}
+
+// ImportCompile is the -import -compile path: a foreign dump lands as a
+// version-2 .tib whose decoded actions match the direct import.
+func TestImportCompileToTIB(t *testing.T) {
+	dir := writeDUMPISample(t)
+	tibPath := filepath.Join(t.TempDir(), "imported.tib")
+	ranks, err := ImportCompile("dumpi", dir, tibPath, ImportOptions{InstructionRate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks != 2 {
+		t.Fatalf("ImportCompile ranks = %d, want 2", ranks)
+	}
+
+	direct, err := Import("dumpi", dir, ImportOptions{InstructionRate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materializeProvider(t, direct)
+
+	p, err := OpenTIB(tibPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Version() != 2 {
+		t.Fatalf("compiled import Version = %d, want 2", p.Version())
+	}
+	if got := materializeProvider(t, p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("compiled import decodes differently:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestImporterRegistry(t *testing.T) {
+	names := Importers()
+	for _, want := range []string{"dumpi", "tau"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in importer %q not registered (have %v)", want, names)
+		}
+	}
+	if _, ok := LookupImporter("dumpi"); !ok {
+		t.Fatal("LookupImporter(dumpi) failed")
+	}
+}
+
+func TestSyntheticMixes(t *testing.T) {
+	for _, mix := range SyntheticMixes() {
+		perRank, err := SyntheticMix(mix, 4, 3, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(perRank) != 4 {
+			t.Fatalf("%s: %d ranks, want 4", mix, len(perRank))
+		}
+		if err := Validate(NewMemProvider(perRank)); err != nil {
+			t.Fatalf("%s mix does not validate: %v", mix, err)
+		}
+		again, err := SyntheticMix(mix, 4, 3, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(perRank, again) {
+			t.Fatalf("%s mix is not deterministic", mix)
+		}
+	}
+	if _, err := SyntheticMix("bogus", 4, 3, 1024); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := SyntheticMix("waitany", 1, 3, 1024); err == nil {
+		t.Fatal("single-rank mix accepted")
+	}
+}

@@ -48,7 +48,7 @@ func ParseLine(line string) (a Action, ok bool, err error) {
 	a = Action{Rank: rank, Kind: kind, Peer: -1}
 	args := fields[2:]
 	switch kind {
-	case Init, Finalize, Wait, WaitAll, Barrier:
+	case Init, Finalize, Wait, WaitAll, WaitAny, Barrier:
 		// no arguments
 
 	case Compute:
@@ -107,6 +107,29 @@ func ParseLine(line string) (a Action, ok bool, err error) {
 		if a.Bytes, err = parseVolume(args[0]); err != nil {
 			return Action{}, false, err
 		}
+
+	case AllToAllV, AllGatherV:
+		// One volume per rank of the communicator:
+		//	p0 alltoallv 1024 0 2048 512
+		if len(args) == 0 {
+			return Action{}, false, fmt.Errorf("trace: %s needs one volume per rank in %q", kind, line)
+		}
+		a.Volumes = make([]float64, len(args))
+		for i, tok := range args {
+			if a.Volumes[i], err = parseVolume(tok); err != nil {
+				return Action{}, false, err
+			}
+		}
+
+	case WaitSome:
+		if len(args) != 1 {
+			return Action{}, false, fmt.Errorf("trace: waitsome needs a completion count in %q", line)
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return Action{}, false, fmt.Errorf("trace: bad waitsome count %q in %q", args[0], line)
+		}
+		a.Count = n
 	}
 	if err := a.Validate(); err != nil {
 		return Action{}, false, err
@@ -121,6 +144,10 @@ type Reader struct {
 	line    int
 	// filter, when >= 0, keeps only actions of that rank (merged traces).
 	filter int
+	// world, when > 0, rejects actions whose peer, root, or volume-vector
+	// length falls outside a communicator of that size — with the line
+	// number, at parse time, instead of a hang or panic at replay.
+	world int
 }
 
 // NewReader wraps r as a trace action stream over all ranks.
@@ -129,6 +156,10 @@ func NewReader(r io.Reader) *Reader {
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	return &Reader{scanner: sc, filter: -1}
 }
+
+// SetWorld enables communicator-sized validation (see ValidateIn) on every
+// action the reader returns.
+func (r *Reader) SetWorld(n int) { r.world = n }
 
 // NewFilteredReader is NewReader restricted to actions of one rank; it is
 // how a per-process replayer consumes the "single entry" merged-trace layout
@@ -153,6 +184,11 @@ func (r *Reader) Next() (a Action, ok bool, err error) {
 		}
 		if r.filter >= 0 && a.Rank != r.filter {
 			continue
+		}
+		if r.world > 0 {
+			if err := a.ValidateIn(r.world); err != nil {
+				return Action{}, false, fmt.Errorf("line %d: %w", r.line, err)
+			}
 		}
 		return a, true, nil
 	}

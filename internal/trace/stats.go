@@ -59,6 +59,10 @@ func Collect(p Provider, eagerThreshold float64) (*Stats, error) {
 				}
 			case Bcast, Reduce, AllReduce, AllToAll, Gather, AllGather:
 				s.CollectiveBytes += a.Bytes
+			case AllToAllV, AllGatherV:
+				for _, v := range a.Volumes {
+					s.CollectiveBytes += v
+				}
 			}
 		}
 	}
@@ -87,12 +91,11 @@ func Validate(p Provider) error {
 			if !ok {
 				break
 			}
-			if err := a.Validate(); err != nil {
+			// ValidateIn also catches roots and volume-vector lengths
+			// outside the communicator (the old per-action Validate only
+			// rejected negative roots).
+			if err := a.ValidateIn(n); err != nil {
 				return err
-			}
-			if a.Kind.HasPeer() && a.Peer >= n {
-				return fmt.Errorf("trace: p%d %s peer p%d outside communicator of size %d",
-					a.Rank, a.Kind, a.Peer, n)
 			}
 			switch a.Kind {
 			case Send, ISend:

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -76,6 +77,7 @@ func (m *MemProvider) Rank(rank int) (Stream, error) {
 type fileStream struct {
 	f      *os.File
 	rd     Stream
+	rank   int
 	closed bool
 }
 
@@ -86,6 +88,14 @@ func (s *fileStream) Next() (Action, bool, error) {
 	a, ok, err := s.rd.Next()
 	if err != nil || !ok {
 		s.Close()
+	}
+	if err != nil {
+		// Attach the file and rank so parse and validation failures carry
+		// their full location ("file: rank N: line L: ...") up to replay.
+		var te *TraceError
+		if !errors.As(err, &te) {
+			err = &TraceError{Path: s.f.Name(), Rank: s.rank, Err: err}
+		}
 	}
 	return a, ok, err
 }
@@ -186,8 +196,10 @@ func (p *FileProvider) Rank(rank int) (Stream, error) {
 		filter = rank
 	}
 	// The expanding reader transparently handles both plain and folded
-	// (@folded v1) trace files.
-	return &fileStream{f: f, rd: NewExpandingReader(f, filter)}, nil
+	// (@folded v1) trace files; the provider's rank count arms the
+	// communicator-sized validation (out-of-range roots, peers, vector
+	// lengths fail here, with a line number, not at replay).
+	return &fileStream{f: f, rd: NewExpandingWorldReader(f, filter, p.nranks), rank: rank}, nil
 }
 
 // WriteSet writes per-rank traces plus a description file into dir, using

@@ -12,7 +12,8 @@ package trace
 //
 //	header (48 bytes):
 //	  [4]byte  magic "TIB1"
-//	  uint32   version (currently 1)
+//	  uint32   version (1 or 2; v2 adds the vector-collective and
+//	           wait-set action kinds, every v1 record unchanged)
 //	  uint32   rank count
 //	  uint32   reserved (zero)
 //	  [32]byte source key — SHA-256 over the source trace files'
@@ -35,6 +36,10 @@ package trace
 // little-endian IEEE-754 float64 (fractional acquired volumes, and the v1
 // recv's unknown size recorded as -1). Typical actions take 3-6 bytes
 // against ~20 bytes of text.
+//
+// Version 2 appends four kinds: alltoallv and allgatherv carry a uvarint
+// vector length followed by that many volumes (one per rank); waitsome
+// carries its completion count as a uvarint; waitany has no fields.
 
 import (
 	"crypto/sha256"
@@ -51,8 +56,13 @@ import (
 )
 
 const (
-	tibMagic      = "TIB1"
-	tibVersion    = 1
+	tibMagic = "TIB1"
+	// tibVersion is the version written by the compiler. v2 extends v1 with
+	// the vector-collective and wait-set kinds (varint-prefixed volume
+	// vectors, a uvarint waitsome count); every v1 record encoding is
+	// unchanged, so the reader accepts both versions.
+	tibVersion    = 2
+	tibMinVersion = 1
 	tibHeaderSize = 48
 	tibEntrySize  = 28
 	// tibMaxRanks bounds the rank count a header may declare, so a
@@ -124,6 +134,13 @@ func appendAction(buf []byte, a *Action) []byte {
 		buf = binary.AppendUvarint(buf, uint64(a.Root))
 	case AllReduce, AllToAll, AllGather:
 		buf = appendVolume(buf, a.Bytes)
+	case AllToAllV, AllGatherV:
+		buf = binary.AppendUvarint(buf, uint64(len(a.Volumes)))
+		for _, v := range a.Volumes {
+			buf = appendVolume(buf, v)
+		}
+	case WaitSome:
+		buf = binary.AppendUvarint(buf, uint64(a.Count))
 	}
 	return buf
 }
@@ -135,9 +152,9 @@ type tibSection struct {
 }
 
 // encodeStream drains one rank's stream into a section. Each action is
-// validated before encoding, so a .tib file only ever holds actions the
-// text writer would also accept.
-func encodeStream(st Stream) (tibSection, error) {
+// validated against the communicator size before encoding, so a .tib file
+// only ever holds actions replay can execute.
+func encodeStream(st Stream, world int) (tibSection, error) {
 	var sec tibSection
 	for {
 		a, ok, err := st.Next()
@@ -147,7 +164,7 @@ func encodeStream(st Stream) (tibSection, error) {
 		if !ok {
 			return sec, nil
 		}
-		if err := a.Validate(); err != nil {
+		if err := a.ValidateIn(world); err != nil {
 			return tibSection{}, err
 		}
 		sec.data = appendAction(sec.data, &a)
@@ -184,7 +201,7 @@ func compileSections(src Provider, workers int) ([]tibSection, error) {
 					errs[r] = err
 					continue
 				}
-				secs[r], errs[r] = encodeStream(st)
+				secs[r], errs[r] = encodeStream(st, n)
 				if c, ok := st.(io.Closer); ok {
 					c.Close()
 				}
@@ -285,10 +302,11 @@ type tibEntry struct {
 // safe for concurrent Rank calls (the batch runner replays scenarios in
 // parallel) and holds one file descriptor until Close.
 type CompiledProvider struct {
-	path  string
-	f     *os.File
-	key   [32]byte
-	index []tibEntry
+	path    string
+	f       *os.File
+	key     [32]byte
+	version uint32
+	index   []tibEntry
 }
 
 func tibFileError(path string, rank int, err error) *TraceError {
@@ -327,8 +345,9 @@ func readTIBHeader(f *os.File, path string) (*CompiledProvider, error) {
 	if string(head[:4]) != tibMagic {
 		return nil, tibFileError(path, -1, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:4]))
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != tibVersion {
-		return nil, tibFileError(path, -1, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v))
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version < tibMinVersion || version > tibVersion {
+		return nil, tibFileError(path, -1, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version))
 	}
 	n := binary.LittleEndian.Uint32(head[8:])
 	if n == 0 || n > tibMaxRanks {
@@ -346,7 +365,7 @@ func readTIBHeader(f *os.File, path string) (*CompiledProvider, error) {
 	if got := crc32.ChecksumIEEE(headIndex[:indexEnd]); got != wantCRC {
 		return nil, tibFileError(path, -1, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt))
 	}
-	p := &CompiledProvider{path: path, f: f, index: make([]tibEntry, n)}
+	p := &CompiledProvider{path: path, f: f, version: version, index: make([]tibEntry, n)}
 	copy(p.key[:], headIndex[16:48])
 	dataStart := uint64(indexEnd + 4)
 	for r := range p.index {
@@ -373,6 +392,9 @@ func (p *CompiledProvider) NumRanks() int { return len(p.index) }
 // (zero for standalone files).
 func (p *CompiledProvider) SourceKey() [32]byte { return p.key }
 
+// Version returns the format version recorded in the file header.
+func (p *CompiledProvider) Version() int { return int(p.version) }
+
 // Rank implements Provider: one ReadAt of the rank's section, a checksum
 // verification, then in-memory varint decoding.
 func (p *CompiledProvider) Rank(rank int) (Stream, error) {
@@ -387,7 +409,12 @@ func (p *CompiledProvider) Rank(rank int) (Stream, error) {
 	if got := crc32.ChecksumIEEE(data); got != ent.crc {
 		return nil, tibFileError(p.path, rank, fmt.Errorf("%w: section checksum mismatch", ErrCorrupt))
 	}
-	return &tibStream{path: p.path, rank: rank, buf: data, remaining: ent.count}, nil
+	maxKind := maxKindV1
+	if p.version >= 2 {
+		maxKind = maxKindV2
+	}
+	return &tibStream{path: p.path, rank: rank, buf: data, remaining: ent.count,
+		maxKind: maxKind, world: len(p.index)}, nil
 }
 
 // Close releases the underlying file. Streams already returned by Rank keep
@@ -401,6 +428,8 @@ type tibStream struct {
 	buf       []byte
 	pos       int
 	remaining uint64
+	maxKind   Kind // highest kind the file's format version may carry
+	world     int  // rank count, for communicator-sized validation
 }
 
 func (s *tibStream) fail(format string, args ...any) (Action, bool, error) {
@@ -447,7 +476,7 @@ func (s *tibStream) Next() (Action, bool, error) {
 	}
 	kind := Kind(s.buf[s.pos])
 	s.pos++
-	if kind < Init || kind > AllGather {
+	if kind < Init || kind > s.maxKind {
 		return s.fail("invalid action kind %d", int(kind))
 	}
 	rank, ok := s.uvarint()
@@ -482,6 +511,31 @@ func (s *tibStream) Next() (Action, bool, error) {
 		if a.Bytes, ok = s.volume(); !ok {
 			return s.fail("bad message size")
 		}
+	case AllToAllV, AllGatherV:
+		n, ok := s.uvarint()
+		if !ok || n == 0 || n > tibMaxRanks {
+			return s.fail("bad volume-vector length")
+		}
+		if uint64(len(s.buf)-s.pos) < n {
+			// Each volume takes at least one byte; reject before allocating
+			// a vector a corrupted length field asked for.
+			return s.fail("volume vector overruns section")
+		}
+		a.Volumes = make([]float64, n)
+		for i := range a.Volumes {
+			if a.Volumes[i], ok = s.volume(); !ok {
+				return s.fail("bad volume %d of %d", i, n)
+			}
+		}
+	case WaitSome:
+		cnt, ok := s.uvarint()
+		if !ok || cnt == 0 || cnt > math.MaxInt32 {
+			return s.fail("bad waitsome count")
+		}
+		a.Count = int(cnt)
+	}
+	if err := a.ValidateIn(s.world); err != nil {
+		return Action{}, false, tibFileError(s.path, s.rank, fmt.Errorf("%w: offset %d: %v", ErrCorrupt, s.pos, err))
 	}
 	s.remaining--
 	return a, true, nil

@@ -43,6 +43,34 @@ func sampleTraceSet(nranks int) [][]Action {
 	return perRank
 }
 
+// sampleTraceSetV2 extends the canonical set with the version-2 vocabulary:
+// wait-handle drains and per-peer vector collectives (uneven volumes, zero
+// self-entries, and a fractional volume to force the raw float encoding).
+func sampleTraceSetV2(nranks int) [][]Action {
+	perRank := sampleTraceSet(nranks)
+	for r := 0; r < nranks; r++ {
+		vols := make([]float64, nranks)
+		gvols := make([]float64, nranks)
+		for k := 0; k < nranks; k++ {
+			if k != r {
+				vols[k] = float64(1024 * (1 + (r+k)%3))
+			}
+			gvols[k] = 256*float64(k+1) + 0.25
+		}
+		tail := []Action{
+			{Rank: r, Kind: ISend, Peer: (r + 1) % nranks, Bytes: 4096},
+			{Rank: r, Kind: IRecv, Peer: (r + nranks - 1) % nranks, Bytes: 4096},
+			{Rank: r, Kind: WaitAny, Peer: -1},
+			{Rank: r, Kind: WaitSome, Peer: -1, Count: 1},
+			{Rank: r, Kind: AllToAllV, Peer: -1, Volumes: vols},
+			{Rank: r, Kind: AllGatherV, Peer: -1, Volumes: gvols},
+			{Rank: r, Kind: Finalize, Peer: -1},
+		}
+		perRank[r] = append(perRank[r][:len(perRank[r])-1], tail...)
+	}
+	return perRank
+}
+
 func materializeProvider(t *testing.T, p Provider) [][]Action {
 	t.Helper()
 	out := make([][]Action, p.NumRanks())
@@ -256,11 +284,95 @@ func drainTIB(path string) error {
 	return nil
 }
 
+// The new vocabulary must survive the binary format: wait sets and vector
+// collectives round-trip bit-for-bit and stamp the file as version 2.
+func TestTIBV2RoundTripNewKinds(t *testing.T) {
+	perRank := sampleTraceSetV2(3)
+	path := filepath.Join(t.TempDir(), "v2.tib")
+	if err := WriteTIBFile(path, perRank); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenTIB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Version() != 2 {
+		t.Fatalf("Version = %d, want 2", p.Version())
+	}
+	if got := materializeProvider(t, p); !reflect.DeepEqual(got, perRank) {
+		t.Fatalf("v2 round trip mismatch:\ngot  %+v\nwant %+v", got, perRank)
+	}
+}
+
+// The committed v1 fixture must decode byte-for-byte to the same actions
+// forever: v2 extended the format, readers must never reinterpret old
+// files. Do NOT regenerate testdata/sample_v1.tib.
+func TestTIBV1FixtureBitIdentical(t *testing.T) {
+	p, err := OpenTIB(filepath.Join("testdata", "sample_v1.tib"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", p.Version())
+	}
+	want := [][]Action{
+		{
+			{Rank: 0, Kind: Init, Peer: -1},
+			{Rank: 0, Kind: Compute, Instructions: 956140, Peer: -1},
+			{Rank: 0, Kind: Compute, Instructions: 1234.5, Peer: -1},
+			{Rank: 0, Kind: Send, Bytes: 1240, Peer: 1},
+			{Rank: 0, Kind: ISend, Bytes: 65536, Peer: 2},
+			{Rank: 0, Kind: Wait, Peer: -1},
+			{Rank: 0, Kind: Bcast, Bytes: 2048, Peer: -1, Root: 2},
+			{Rank: 0, Kind: Reduce, Bytes: 64, Peer: -1},
+			{Rank: 0, Kind: AllReduce, Bytes: 40, Peer: -1},
+			{Rank: 0, Kind: Finalize, Peer: -1},
+		},
+		{
+			{Rank: 1, Kind: Init, Peer: -1},
+			{Rank: 1, Kind: Recv, Bytes: -1, Peer: 0},
+			{Rank: 1, Kind: IRecv, Bytes: 512, Peer: 2},
+			{Rank: 1, Kind: WaitAll, Peer: -1},
+			{Rank: 1, Kind: Barrier, Peer: -1},
+			{Rank: 1, Kind: Bcast, Bytes: 2048, Peer: -1, Root: 2},
+			{Rank: 1, Kind: Reduce, Bytes: 64, Peer: -1},
+			{Rank: 1, Kind: AllReduce, Bytes: 40, Peer: -1},
+			{Rank: 1, Kind: Finalize, Peer: -1},
+		},
+		{
+			{Rank: 2, Kind: Init, Peer: -1},
+			{Rank: 2, Kind: Recv, Bytes: 0, Peer: 0},
+			{Rank: 2, Kind: Send, Bytes: 512, Peer: 1},
+			{Rank: 2, Kind: Gather, Bytes: 128, Peer: -1, Root: 1},
+			{Rank: 2, Kind: AllToAll, Bytes: 4096, Peer: -1},
+			{Rank: 2, Kind: AllGather, Bytes: 256, Peer: -1},
+			{Rank: 2, Kind: Bcast, Bytes: 2048, Peer: -1, Root: 2},
+			{Rank: 2, Kind: Reduce, Bytes: 64, Peer: -1},
+			{Rank: 2, Kind: AllReduce, Bytes: 40, Peer: -1},
+			{Rank: 2, Kind: Finalize, Peer: -1},
+		},
+	}
+	if got := materializeProvider(t, p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 fixture decode drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
 // Every truncation and every single-bit flip of a .tib file must surface
 // as a *TraceError — never a panic, never silently decoded: each file
 // region is covered by a checksum.
 func TestTIBCorruptionRobustness(t *testing.T) {
-	perRank := sampleTraceSet(2)
+	tibCorruptionCheck(t, sampleTraceSet(2))
+}
+
+// The version-2 records (counts arrays, wait-set counts) get the same
+// every-truncation/every-bitflip treatment as the v1 vocabulary.
+func TestTIBV2CorruptionRobustness(t *testing.T) {
+	tibCorruptionCheck(t, sampleTraceSetV2(2))
+}
+
+func tibCorruptionCheck(t *testing.T, perRank [][]Action) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ok.tib")
 	if err := WriteTIBFile(path, perRank); err != nil {

@@ -26,7 +26,7 @@ p0 compute 3821`
 		t.Fatalf("parsed %d actions, want 5", len(actions))
 	}
 	want := Action{Rank: 0, Kind: Send, Peer: 1, Bytes: 1240}
-	if actions[1] != want {
+	if !actions[1].Equal(want) {
 		t.Fatalf("action[1] = %+v, want %+v", actions[1], want)
 	}
 	if actions[0].Instructions != 956140 {
@@ -171,7 +171,7 @@ func TestActionRoundTripProperty(t *testing.T) {
 			a.Bytes = float64(vol)
 		}
 		got, ok, err := ParseLine(a.String())
-		return err == nil && ok && got == a
+		return err == nil && ok && got.Equal(a)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

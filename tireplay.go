@@ -13,13 +13,16 @@
 //
 //   - platform description (flat and hierarchical clusters, piece-wise
 //     linear network factor models);
-//   - the trace format: parsing, writing, validation, streaming;
+//   - the trace format: parsing, writing, validation, streaming, the
+//     compiled TIB binary cache, and an importer registry (DUMPI ASCII,
+//     TAU profiles, custom formats) folding foreign acquisitions into the
+//     same pipeline;
 //   - replay backends behind a uniform interface: the accurate SMPI-style
 //     backend (eager/rendezvous protocols, collectives as point-to-point
 //     trees), the legacy MSG-style baseline the paper improves upon, and
 //     any custom backend plugged in with RegisterBackend;
-//   - workload models of the NAS Parallel Benchmarks (LU, CG) that generate
-//     traces of any class/process count;
+//   - workload models of the NAS Parallel Benchmarks (LU, CG, EP, MG, BT,
+//     SP, FT) that generate traces of any class/process count;
 //   - emulated ground-truth clusters (bordereau, graphene) and the
 //     instrumentation model used to study acquisition overheads;
 //   - the two calibration procedures (classic A-4 and cache-aware);
@@ -419,6 +422,14 @@ type (
 	EP = npb.EP
 	// MG is the NAS MG benchmark model (multigrid V-cycles, 3D halos).
 	MG = npb.MG
+	// BT is the NAS BT benchmark model (block-tridiagonal sweeps, waitsome
+	// face drains).
+	BT = npb.BT
+	// SP is the NAS SP benchmark model (scalar pentadiagonal sweeps, waitany
+	// face drains).
+	SP = npb.SP
+	// FT is the NAS FT benchmark model (3D FFT, alltoallv transposes).
+	FT = npb.FT
 	// NPBClass is an NPB problem class (S, W, A, B, C, D).
 	NPBClass = npb.Class
 )
@@ -572,6 +583,52 @@ func WriteTIB(path string, perRank [][]Action) error {
 	return trace.WriteTIBFile(path, perRank)
 }
 
+// TraceImportOptions tunes how a foreign trace's volumes are mapped onto
+// actions (e.g. the CPU-time-to-instructions rate used when the dump carries
+// no hardware counter).
+type TraceImportOptions = trace.ImportOptions
+
+// TraceImporter converts one foreign trace layout into a TraceProvider.
+type TraceImporter = trace.Importer
+
+// ImportTraces opens a foreign trace (an SST DUMPI ASCII dump, a TAU profile
+// folder, or any format added with RegisterTraceImporter) as a provider.
+// format names a registered importer; "" or "auto" sniffs the path against
+// every importer. The result feeds the rest of the pipeline — validation,
+// TIB compilation, replay — exactly like a native trace set.
+func ImportTraces(format, path string, opts TraceImportOptions) (TraceProvider, error) {
+	return trace.Import(format, path, opts)
+}
+
+// ImportCompileTraces imports a foreign trace and compiles it straight to a
+// .tib file, returning the rank count: pay the foreign parse once, replay
+// from the binary form ever after.
+func ImportCompileTraces(format, path, tibPath string, opts TraceImportOptions) (int, error) {
+	return trace.ImportCompile(format, path, tibPath, opts)
+}
+
+// RegisterTraceImporter makes a custom trace format importable by name (and
+// by sniffing) in ImportTraces and Scenario.TraceFormat, mirroring
+// RegisterBackend on the ingestion side.
+func RegisterTraceImporter(name string, sniff func(path string) bool, open func(path string, opts TraceImportOptions) (TraceProvider, error)) {
+	trace.RegisterImporter(name, sniff, open)
+}
+
+// TraceImporters returns the sorted names of all registered trace importers.
+func TraceImporters() []string { return trace.Importers() }
+
+// SyntheticTraceMixes lists the synthetic generator names accepted by
+// SyntheticMixTraces (and tracegen's -mix flag).
+func SyntheticTraceMixes() []string { return trace.SyntheticMixes() }
+
+// SyntheticMixTraces generates a small deterministic cross-rank-consistent
+// trace set exercising the extended action vocabulary: "alltoallv" (uneven
+// vector collectives) or "waitany" (nonblocking bursts drained out of
+// order). bytes scales the payloads.
+func SyntheticMixTraces(mix string, ranks, iters int, bytes float64) ([][]Action, error) {
+	return trace.SyntheticMix(mix, ranks, iters, bytes)
+}
+
 // ValidateTraces checks cross-rank consistency (matched sends/receives,
 // balanced collectives).
 func ValidateTraces(p TraceProvider) error {
@@ -608,6 +665,24 @@ func NewEP(class NPBClass, procs int) (*EP, error) {
 // NewMG builds an MG workload instance.
 func NewMG(class NPBClass, procs, iterations int) (*MG, error) {
 	return npb.NewMG(class, procs, iterations)
+}
+
+// NewBT builds a BT workload instance; the process count must be a perfect
+// square.
+func NewBT(class NPBClass, procs, iterations int) (*BT, error) {
+	return npb.NewBT(class, procs, iterations)
+}
+
+// NewSP builds an SP workload instance; the process count must be a perfect
+// square.
+func NewSP(class NPBClass, procs, iterations int) (*SP, error) {
+	return npb.NewSP(class, procs, iterations)
+}
+
+// NewFT builds an FT workload instance; the process count must not exceed
+// the class's smallest transpose dimension.
+func NewFT(class NPBClass, procs, iterations int) (*FT, error) {
+	return npb.NewFT(class, procs, iterations)
 }
 
 // PerfectTrace exposes a workload's exact action streams (what a
