@@ -9,6 +9,13 @@
 //	tireplay -desc traces/lu_b8.desc -np 8 -platform platform.json \
 //	    [-backend smpi|msg] [-speed 2.5e9] [-validate]
 //
+// The platform JSON selects one of the supported topologies via its
+// "topology" field: the paper's cluster shapes ("flat", "hierarchical",
+// "crossbar") or the structured interconnects of the topology zoo
+// ("fattree" with radix/levels, "dragonfly" with groups/routers_per_group/
+// hosts_per_router/routing, "torus" with torus_dims) — all with real
+// deterministic routing. See the README's "Topology zoo" section.
+//
 // Batch usage — a JSON array of scenario descriptions replayed on a worker
 // pool (each simulation is single-threaded; scenarios run concurrently):
 //

@@ -1,9 +1,11 @@
 // Package platform describes simulated execution platforms: hosts, links,
-// and routing between them. It provides builders for the two cluster shapes
+// and routing between them. It provides builders for the cluster shapes
 // used in the paper — a flat cluster where all nodes hang off a single
 // switch (bordereau) and a hierarchical cluster with per-cabinet switches
-// joined by a backbone (graphene) — plus the piece-wise-linear network
-// factor model the SMPI backend relies on.
+// joined by a backbone (graphene) — plus a full-bisection crossbar, the
+// structured topology zoo (k-ary fat trees, dragonflies, and 2D/3D tori
+// materialized from internal/topo with real deterministic routing), and
+// the piece-wise-linear network factor model the SMPI backend relies on.
 package platform
 
 import (

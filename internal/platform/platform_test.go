@@ -250,7 +250,7 @@ func TestSpecBuildHierarchical(t *testing.T) {
 }
 
 func TestSpecUnknownTopology(t *testing.T) {
-	spec := &Spec{Topology: "torus"}
+	spec := &Spec{Topology: "hypercube"}
 	if _, _, err := spec.Build(); err == nil {
 		t.Fatal("expected error for unknown topology")
 	}

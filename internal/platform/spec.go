@@ -9,16 +9,37 @@ import (
 )
 
 // Spec is a serializable platform description, the equivalent of the
-// platform.xml file passed to smpirun in the paper. It is deliberately
-// simple: one of the two supported topologies plus optional piece-wise
-// network factors.
+// platform.xml file passed to smpirun in the paper. It covers the flat,
+// hierarchical, and crossbar cluster shapes plus the structured topologies
+// of the topology zoo (fat tree, dragonfly, torus), with optional
+// piece-wise network factors.
 type Spec struct {
 	Name     string `json:"name"`
-	Topology string `json:"topology"` // "flat", "hierarchical", or "crossbar"
+	Topology string `json:"topology"` // "flat", "hierarchical", "crossbar", "fattree", "dragonfly", or "torus"
 
+	// Hosts is the node count for flat/crossbar shapes. For the structured
+	// topologies the count is derived from the shape fields; Hosts may still
+	// be set and is then cross-checked against the derived count.
 	Hosts           int `json:"hosts,omitempty"`
 	Cabinets        int `json:"cabinets,omitempty"`
 	HostsPerCabinet int `json:"hosts_per_cabinet,omitempty"`
+
+	// Fat tree ("fattree"): a k-ary n-tree with radix^levels hosts. The
+	// switch cables take the backbone_* parameters.
+	Radix  int `json:"radix,omitempty"`
+	Levels int `json:"levels,omitempty"`
+
+	// Dragonfly ("dragonfly"): groups*routers_per_group*hosts_per_router
+	// hosts; routing is "minimal" (default), "valiant", or "adaptive".
+	// Intra-group cables take local_*, inter-group cables global_*.
+	Groups          int    `json:"groups,omitempty"`
+	RoutersPerGroup int    `json:"routers_per_group,omitempty"`
+	HostsPerRouter  int    `json:"hosts_per_router,omitempty"`
+	Routing         string `json:"routing,omitempty"`
+
+	// Torus ("torus"): 2 or 3 dimension radii, product = hosts. The
+	// node-to-node ring cables take the backbone_* parameters.
+	TorusDims []int `json:"torus_dims,omitempty"`
 
 	Speed float64 `json:"speed"` // instructions per second
 
@@ -28,6 +49,10 @@ type Spec struct {
 	CabinetLatency    float64 `json:"cabinet_latency,omitempty"`
 	BackboneBandwidth float64 `json:"backbone_bandwidth"`
 	BackboneLatency   float64 `json:"backbone_latency"`
+	LocalBandwidth    float64 `json:"local_bandwidth,omitempty"`
+	LocalLatency      float64 `json:"local_latency,omitempty"`
+	GlobalBandwidth   float64 `json:"global_bandwidth,omitempty"`
+	GlobalLatency     float64 `json:"global_latency,omitempty"`
 	LoopbackLatency   float64 `json:"loopback_latency,omitempty"`
 
 	// Factors holds the optional piece-wise-linear segments; MaxBytes<=0 in
@@ -82,11 +107,60 @@ func (s *Spec) Build() (*Platform, *PiecewiseModel, error) {
 			BackboneLatency:   s.BackboneLatency,
 			LoopbackLatency:   s.LoopbackLatency,
 		})
+	case "fattree":
+		p, err = NewFatTree(FatTreeConfig{
+			Name:              s.Name,
+			Radix:             s.Radix,
+			Levels:            s.Levels,
+			Speed:             s.Speed,
+			LinkBandwidth:     s.LinkBandwidth,
+			LinkLatency:       s.LinkLatency,
+			BackboneBandwidth: s.BackboneBandwidth,
+			BackboneLatency:   s.BackboneLatency,
+			LoopbackLatency:   s.LoopbackLatency,
+		})
+	case "dragonfly":
+		p, err = NewDragonfly(DragonflyConfig{
+			Name:            s.Name,
+			Groups:          s.Groups,
+			RoutersPerGroup: s.RoutersPerGroup,
+			HostsPerRouter:  s.HostsPerRouter,
+			Routing:         s.Routing,
+			Speed:           s.Speed,
+			LinkBandwidth:   s.LinkBandwidth,
+			LinkLatency:     s.LinkLatency,
+			LocalBandwidth:  s.LocalBandwidth,
+			LocalLatency:    s.LocalLatency,
+			GlobalBandwidth: s.GlobalBandwidth,
+			GlobalLatency:   s.GlobalLatency,
+			LoopbackLatency: s.LoopbackLatency,
+		})
+	case "torus":
+		p, err = NewTorus(TorusConfig{
+			Name:              s.Name,
+			Dims:              s.TorusDims,
+			Speed:             s.Speed,
+			LinkBandwidth:     s.LinkBandwidth,
+			LinkLatency:       s.LinkLatency,
+			BackboneBandwidth: s.BackboneBandwidth,
+			BackboneLatency:   s.BackboneLatency,
+			LoopbackLatency:   s.LoopbackLatency,
+		})
 	default:
 		return nil, nil, fmt.Errorf("platform: unknown topology %q", s.Topology)
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	// For the structured topologies the host count is derived from shape
+	// fields; an explicit "hosts" must agree so rank-count mismatches
+	// surface at build time instead of as routing panics mid-replay.
+	switch s.Topology {
+	case "fattree", "dragonfly", "torus":
+		if s.Hosts != 0 && s.Hosts != p.Size() {
+			return nil, nil, fmt.Errorf(`platform: %s: "hosts" = %d but the %s shape yields %d hosts`,
+				s.Name, s.Hosts, s.Topology, p.Size())
+		}
 	}
 	var model *PiecewiseModel
 	if len(s.Factors) > 0 {

@@ -23,6 +23,12 @@ type Stats struct {
 	// solve (which re-solves every active flow on every pass).
 	ComponentsResolved int64 `json:"components_resolved"`
 	FlowsResolved      int64 `json:"flows_resolved"`
+	// MaxComponentFlows is the largest single component (in flows) handed to
+	// the solver over the whole run. Structured topologies (fat tree,
+	// dragonfly, torus) are characterized by how large this grows relative
+	// to the active flow count: a full-bisection crossbar keeps components
+	// tiny, while a congested torus can fuse every active flow into one.
+	MaxComponentFlows int64 `json:"max_component_flows"`
 }
 
 // Engine is a sequential discrete-event simulator. Simulated processes run

@@ -233,6 +233,9 @@ func (e *Engine) solveFrom(seed *flow, m int64) {
 	e.solveComponent(comp, links)
 	e.stats.ComponentsResolved++
 	e.stats.FlowsResolved += int64(len(comp))
+	if n := int64(len(comp)); n > e.stats.MaxComponentFlows {
+		e.stats.MaxComponentFlows = n
+	}
 }
 
 // solveComponent runs progressive filling (bounded max-min fairness) on one

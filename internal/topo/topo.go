@@ -1,0 +1,113 @@
+// Package topo implements the structured interconnect topologies real HPC
+// machines use — k-ary fat trees, dragonflies, and 2D/3D tori — as pure
+// routing graphs. A Topology owns a dense integer id space of hosts and
+// directional links and computes deterministic routes as link-id sequences
+// appended into a caller-owned buffer, so the hot routing path allocates
+// nothing. The platform package materializes a Topology into sim.Host and
+// sim.Link objects and adapts its routes to sim.RouterInto; this package
+// deliberately knows nothing about the simulation kernel, which keeps the
+// routing algorithms independently property-testable (symmetry, loop
+// freedom, hop bounds, physical adjacency).
+//
+// All routing here is deterministic per (src, dst) pair: the same pair
+// always yields the same link sequence, which is what makes whole replays
+// bit-reproducible across schedulers and backends. Where a real machine
+// would pick among paths adaptively (dragonfly), the choice is derived from
+// a symmetric hash of the pair, i.e. per flow rather than per packet.
+package topo
+
+import "fmt"
+
+// Class partitions a topology's links into the families that platform
+// configuration assigns bandwidth and latency to.
+type Class int
+
+const (
+	// ClassHost links attach an endpoint to its first switch or router (the
+	// NIC cable): every route starts on the source's up link and ends on
+	// the destination's down link, so same-endpoint flows contend here.
+	ClassHost Class = iota
+	// ClassFabric links join switches of the interconnect proper: fat-tree
+	// level-to-level cables and torus neighbor links.
+	ClassFabric
+	// ClassLocal links join routers inside one dragonfly group.
+	ClassLocal
+	// ClassGlobal links join dragonfly groups (the long optical cables).
+	ClassGlobal
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassHost:
+		return "host"
+	case ClassFabric:
+		return "fabric"
+	case ClassLocal:
+		return "local"
+	case ClassGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// LinkDesc describes one directional link of a topology: a stable
+// human-readable name (unique within the topology) and the class that
+// selects its bandwidth/latency parameters.
+type LinkDesc struct {
+	Name  string
+	Class Class
+}
+
+// Topology is a routable interconnect: hosts 0..Hosts()-1 joined by the
+// directional links of Links(), with a deterministic route between every
+// ordered host pair.
+type Topology interface {
+	// Hosts returns the number of endpoints.
+	Hosts() int
+	// Links enumerates every directional link; the slice index is the link
+	// id AppendRoute emits.
+	Links() []LinkDesc
+	// AppendRoute appends the link ids of the route from src to dst (two
+	// distinct, in-range hosts) to buf and returns the extended buffer. The
+	// sequence always starts with src's host up link and ends with dst's
+	// host down link, and never repeats a link.
+	AppendRoute(buf []int, src, dst int) []int
+}
+
+// pairMix hashes an unordered host pair into 64 well-mixed bits
+// (splitmix64 finalizer). It is symmetric — pairMix(a,b) == pairMix(b,a) —
+// so per-flow routing decisions derived from it (dragonfly path selection)
+// give forward and reverse flows mirrored paths.
+func pairMix(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	x := uint64(a)<<32 | uint64(b)&0xffffffff
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// maxHosts bounds topology sizes so malformed shapes (huge radices, dim
+// products) are rejected with an error instead of exhausting memory.
+const maxHosts = 1 << 22
+
+// hostUp and hostDown are the link ids of an endpoint's NIC links; every
+// topology here lays its id space out with the 2*Hosts() host links first.
+func hostUp(h int) int   { return 2 * h }
+func hostDown(h int) int { return 2*h + 1 }
+
+// appendHostLinks emits the shared host-link prefix of a topology's link
+// table: up and down per endpoint, in id order.
+func appendHostLinks(descs []LinkDesc, hosts int) []LinkDesc {
+	for h := 0; h < hosts; h++ {
+		descs = append(descs,
+			LinkDesc{Name: fmt.Sprintf("h%d-up", h), Class: ClassHost},
+			LinkDesc{Name: fmt.Sprintf("h%d-down", h), Class: ClassHost},
+		)
+	}
+	return descs
+}

@@ -1,0 +1,454 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkLinkTable validates the Links() table itself: unique names, ids in
+// range, and the host-link prefix layout every topology shares.
+func checkLinkTable(t *testing.T, tp Topology) []LinkDesc {
+	t.Helper()
+	descs := tp.Links()
+	seen := make(map[string]bool, len(descs))
+	for i, d := range descs {
+		if d.Name == "" {
+			t.Fatalf("link %d has empty name", i)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate link name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for h := 0; h < tp.Hosts(); h++ {
+		if descs[hostUp(h)].Class != ClassHost || descs[hostDown(h)].Class != ClassHost {
+			t.Fatalf("host %d NIC links not ClassHost", h)
+		}
+	}
+	return descs
+}
+
+// checkRoute validates the invariants shared by every topology: the route
+// exists for every distinct pair, starts at src's up link, ends at dst's
+// down link, stays in range, never repeats a link (loop freedom), and is
+// hop-symmetric with the reverse route. walk additionally verifies physical
+// adjacency hop by hop and that the path really ends at dst. It returns the
+// route for topology-specific bounds.
+func checkRoute(t *testing.T, tp Topology, src, dst int, walk func(t *testing.T, route []int, src, dst int)) []int {
+	t.Helper()
+	route := tp.AppendRoute(nil, src, dst)
+	if len(route) < 2 {
+		t.Fatalf("route %d->%d too short: %v", src, dst, route)
+	}
+	if route[0] != hostUp(src) || route[len(route)-1] != hostDown(dst) {
+		t.Fatalf("route %d->%d does not span NIC links: %v", src, dst, route)
+	}
+	nlinks := len(tp.Links())
+	seen := make(map[int]bool, len(route))
+	for _, id := range route {
+		if id < 0 || id >= nlinks {
+			t.Fatalf("route %d->%d has out-of-range link %d", src, dst, id)
+		}
+		if seen[id] {
+			t.Fatalf("route %d->%d repeats link %d: %v", src, dst, id, route)
+		}
+		seen[id] = true
+	}
+	if rev := tp.AppendRoute(nil, dst, src); len(rev) != len(route) {
+		t.Fatalf("route %d->%d has %d links but reverse has %d", src, dst, len(route), len(rev))
+	}
+	walk(t, route, src, dst)
+	return route
+}
+
+// --- fat tree ---
+
+// ftWalk follows a fat-tree route through the physical switch graph,
+// decoding every cable id back into (boundary, lower label, upper digit)
+// and checking adjacency at each hop.
+func ftWalk(ft *FatTree) func(t *testing.T, route []int, src, dst int) {
+	return func(t *testing.T, route []int, src, dst int) {
+		t.Helper()
+		// Position: tier 0 = at a host, tier l >= 1 = at switch (l, label).
+		tier, label := 0, src
+		for _, id := range route {
+			if id < 2*ft.hosts {
+				h, down := id/2, id%2 == 1
+				if !down {
+					if tier != 0 || label != h {
+						t.Fatalf("up NIC link of host %d crossed at tier %d label %d", h, tier, label)
+					}
+					tier, label = 1, h/ft.radix
+				} else {
+					if tier != 1 || label != h/ft.radix {
+						t.Fatalf("down NIC link of host %d crossed at tier %d label %d", h, tier, label)
+					}
+					tier, label = 0, h
+				}
+				continue
+			}
+			c := id - 2*ft.hosts
+			down := c%2 == 1
+			c /= 2
+			x := c % ft.radix
+			c /= ft.radix
+			w := c % ft.tier
+			l := c/ft.tier + 1
+			upper := w + (x-ft.digit(w, l-1))*ft.pow[l-1]
+			if !down {
+				if tier != l || label != w {
+					t.Fatalf("up cable (l=%d w=%d x=%d) crossed at tier %d label %d", l, w, x, tier, label)
+				}
+				tier, label = l+1, upper
+			} else {
+				if tier != l+1 || label != upper {
+					t.Fatalf("down cable (l=%d w=%d x=%d) crossed at tier %d label %d", l, w, x, tier, label)
+				}
+				tier, label = l, w
+			}
+		}
+		if tier != 0 || label != dst {
+			t.Fatalf("route %d->%d ends at tier %d label %d", src, dst, tier, label)
+		}
+	}
+}
+
+func TestFatTreeRouteProperties(t *testing.T) {
+	for _, shape := range []struct{ k, n int }{{2, 1}, {2, 2}, {2, 4}, {3, 2}, {4, 3}} {
+		t.Run(fmt.Sprintf("k=%d/n=%d", shape.k, shape.n), func(t *testing.T) {
+			ft, err := NewFatTree(shape.k, shape.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			descs := checkLinkTable(t, ft)
+			if want := 2 * ft.Hosts() * shape.n; len(descs) != want {
+				t.Fatalf("links = %d, want %d", len(descs), want)
+			}
+			walk := ftWalk(ft)
+			for src := 0; src < ft.Hosts(); src++ {
+				for dst := 0; dst < ft.Hosts(); dst++ {
+					if src == dst {
+						continue
+					}
+					route := checkRoute(t, ft, src, dst, walk)
+					if len(route) > 2*shape.n {
+						t.Fatalf("route %d->%d has %d links, bound 2*levels = %d", src, dst, len(route), 2*shape.n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFatTreeDestinationConvergence pins the deterministic up*/down*
+// discipline: all flows toward one destination descend through the same
+// ancestor cables (the in-cast tree), so their down paths coincide.
+func TestFatTreeDestinationConvergence(t *testing.T) {
+	ft, err := NewFatTree(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := 5
+	var downTail []int
+	for src := 0; src < ft.Hosts(); src++ {
+		if src == dst {
+			continue
+		}
+		route := ft.AppendRoute(nil, src, dst)
+		// The descent from the common top tier is the last levels links.
+		if len(route) < 2*ft.Levels() {
+			continue // pair under a lower ancestor
+		}
+		tail := route[len(route)-ft.Levels():]
+		if downTail == nil {
+			downTail = append([]int(nil), tail...)
+			continue
+		}
+		for i := range tail {
+			if tail[i] != downTail[i] {
+				t.Fatalf("src %d descends via %v, others via %v", src, tail, downTail)
+			}
+		}
+	}
+}
+
+// --- dragonfly ---
+
+// dfWalk follows a dragonfly route through the router graph.
+func dfWalk(df *Dragonfly) func(t *testing.T, route []int, src, dst int) {
+	return func(t *testing.T, route []int, src, dst int) {
+		t.Helper()
+		atHost, pos := true, src // pos = host id, or global router index when !atHost
+		for _, id := range route {
+			switch {
+			case id < 2*df.hosts:
+				h, down := id/2, id%2 == 1
+				if !down {
+					if !atHost || pos != h {
+						t.Fatalf("up NIC of host %d crossed at atHost=%v pos=%d", h, atHost, pos)
+					}
+					atHost, pos = false, h/df.hostsPer
+				} else {
+					if atHost || pos != h/df.hostsPer {
+						t.Fatalf("down NIC of host %d crossed at atHost=%v pos=%d", h, atHost, pos)
+					}
+					atHost, pos = true, h
+				}
+			case id < df.globalBase:
+				v := id - df.localBase
+				o := v % (df.routers - 1)
+				v /= df.routers - 1
+				rs := v % df.routers
+				g := v / df.routers
+				rd := o
+				if rd >= rs {
+					rd++
+				}
+				if atHost || pos != g*df.routers+rs {
+					t.Fatalf("local link g%d r%d->r%d crossed at atHost=%v pos=%d", g, rs, rd, atHost, pos)
+				}
+				pos = g*df.routers + rd
+			default:
+				v := id - df.globalBase
+				o := v % (df.groups - 1)
+				gs := v / (df.groups - 1)
+				gd := o
+				if gd >= gs {
+					gd++
+				}
+				if atHost || pos != gs*df.routers+df.gateway(gs, gd) {
+					t.Fatalf("global link g%d->g%d crossed at atHost=%v pos=%d", gs, gd, atHost, pos)
+				}
+				pos = gd*df.routers + df.gateway(gd, gs)
+			}
+		}
+		if !atHost || pos != dst {
+			t.Fatalf("route %d->%d ends at atHost=%v pos=%d", src, dst, atHost, pos)
+		}
+	}
+}
+
+func TestDragonflyRouteProperties(t *testing.T) {
+	for _, shape := range []struct{ g, a, p int }{{1, 2, 2}, {2, 1, 3}, {2, 2, 2}, {3, 4, 2}, {5, 2, 3}} {
+		for _, mode := range []Routing{RouteMinimal, RouteValiant, RouteAdaptive} {
+			t.Run(fmt.Sprintf("g=%d/a=%d/p=%d/%s", shape.g, shape.a, shape.p, mode), func(t *testing.T) {
+				df, err := NewDragonfly(shape.g, shape.a, shape.p, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkLinkTable(t, df)
+				bound := 5 // NIC, local, global, local, NIC
+				if mode != RouteMinimal {
+					bound = 7 // one extra global and local for the detour
+				}
+				walk := dfWalk(df)
+				for src := 0; src < df.Hosts(); src++ {
+					for dst := 0; dst < df.Hosts(); dst++ {
+						if src == dst {
+							continue
+						}
+						route := checkRoute(t, df, src, dst, walk)
+						if len(route) > bound {
+							t.Fatalf("route %d->%d has %d links, bound %d", src, dst, len(route), bound)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDragonflyAdaptiveIsMinimalOrValiant pins the per-flow selection: an
+// adaptive route always equals the pair's minimal route or its Valiant
+// route, never a third path, and the choice is deterministic.
+func TestDragonflyAdaptiveIsMinimalOrValiant(t *testing.T) {
+	mk := func(mode Routing) *Dragonfly {
+		df, err := NewDragonfly(4, 3, 2, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return df
+	}
+	min, val, ad := mk(RouteMinimal), mk(RouteValiant), mk(RouteAdaptive)
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	sawMin, sawVal := false, false
+	for src := 0; src < ad.Hosts(); src++ {
+		for dst := 0; dst < ad.Hosts(); dst++ {
+			if src == dst {
+				continue
+			}
+			r := ad.AppendRoute(nil, src, dst)
+			if again := ad.AppendRoute(nil, src, dst); !eq(r, again) {
+				t.Fatalf("adaptive route %d->%d not deterministic", src, dst)
+			}
+			m, v := min.AppendRoute(nil, src, dst), val.AppendRoute(nil, src, dst)
+			switch {
+			case eq(r, m):
+				sawMin = true
+			case eq(r, v):
+				sawVal = true
+			default:
+				t.Fatalf("adaptive route %d->%d is neither minimal %v nor valiant %v: %v", src, dst, m, v, r)
+			}
+		}
+	}
+	if !sawMin || !sawVal {
+		t.Fatalf("adaptive selection degenerate: minimal=%v valiant=%v", sawMin, sawVal)
+	}
+}
+
+// --- torus ---
+
+// torusWalk follows a torus route node by node through the grid.
+func torusWalk(ts *Torus) func(t *testing.T, route []int, src, dst int) {
+	nd := len(ts.dims)
+	return func(t *testing.T, route []int, src, dst int) {
+		t.Helper()
+		atHost, node := true, src
+		for _, id := range route {
+			if id < 2*ts.hosts {
+				h, down := id/2, id%2 == 1
+				if !down {
+					if !atHost || node != h {
+						t.Fatalf("up NIC of %d crossed at atHost=%v node=%d", h, atHost, node)
+					}
+					atHost = false
+				} else {
+					if atHost || node != h {
+						t.Fatalf("down NIC of %d crossed at atHost=%v node=%d", h, atHost, node)
+					}
+					atHost = true
+				}
+				continue
+			}
+			v := id - 2*ts.hosts
+			minus := v%2 == 1
+			v /= 2
+			d := v % nd
+			from := v / nd
+			if atHost || node != from {
+				t.Fatalf("neighbor link of node %d crossed at atHost=%v node=%d", from, atHost, node)
+			}
+			stride := 1
+			for i := 0; i < d; i++ {
+				stride *= ts.dims[i]
+			}
+			c := (from / stride) % ts.dims[d]
+			if minus {
+				if c == 0 {
+					node = from + (ts.dims[d]-1)*stride
+				} else {
+					node = from - stride
+				}
+			} else {
+				if c == ts.dims[d]-1 {
+					node = from - (ts.dims[d]-1)*stride
+				} else {
+					node = from + stride
+				}
+			}
+		}
+		if !atHost || node != dst {
+			t.Fatalf("route %d->%d ends at atHost=%v node=%d", src, dst, atHost, node)
+		}
+	}
+}
+
+func TestTorusRouteProperties(t *testing.T) {
+	for _, dims := range [][]int{{2, 2}, {4, 4}, {3, 5}, {2, 2, 2}, {4, 3, 2}, {5, 4, 3}} {
+		t.Run(fmt.Sprintf("%v", dims), func(t *testing.T) {
+			ts, err := NewTorus(dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			descs := checkLinkTable(t, ts)
+			if want := 2 * ts.Hosts() * (1 + len(dims)); len(descs) != want {
+				t.Fatalf("links = %d, want %d", len(descs), want)
+			}
+			bound := 2 // NIC links
+			for _, d := range dims {
+				bound += d / 2
+			}
+			walk := torusWalk(ts)
+			for src := 0; src < ts.Hosts(); src++ {
+				for dst := 0; dst < ts.Hosts(); dst++ {
+					if src == dst {
+						continue
+					}
+					route := checkRoute(t, ts, src, dst, walk)
+					if len(route) > bound {
+						t.Fatalf("route %d->%d has %d links, bound %d", src, dst, len(route), bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- shape validation ---
+
+func TestShapeValidation(t *testing.T) {
+	if _, err := NewFatTree(1, 2); err == nil {
+		t.Error("radix 1 accepted")
+	}
+	if _, err := NewFatTree(2, 0); err == nil {
+		t.Error("zero levels accepted")
+	}
+	if _, err := NewFatTree(1000, 10); err == nil {
+		t.Error("overflow shape accepted")
+	}
+	if _, err := NewDragonfly(0, 1, 1, RouteMinimal); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := NewDragonfly(1, 0, 1, RouteMinimal); err == nil {
+		t.Error("zero routers accepted")
+	}
+	if _, err := NewDragonfly(1, 1, 0, RouteMinimal); err == nil {
+		t.Error("zero hosts-per-router accepted")
+	}
+	if _, err := NewDragonfly(1<<12, 1<<12, 1<<12, RouteMinimal); err == nil {
+		t.Error("overflow dragonfly accepted")
+	}
+	if _, err := NewTorus([]int{4}); err == nil {
+		t.Error("1D torus accepted")
+	}
+	if _, err := NewTorus([]int{2, 2, 2, 2}); err == nil {
+		t.Error("4D torus accepted")
+	}
+	if _, err := NewTorus([]int{4, 1}); err == nil {
+		t.Error("dim 1 accepted")
+	}
+	if _, err := NewTorus([]int{1 << 12, 1 << 12, 1 << 12}); err == nil {
+		t.Error("overflow torus accepted")
+	}
+	if _, err := ParseRouting("bogus"); err == nil {
+		t.Error("bogus routing accepted")
+	}
+	for _, s := range []string{"", "minimal", "valiant", "adaptive"} {
+		if _, err := ParseRouting(s); err != nil {
+			t.Errorf("ParseRouting(%q): %v", s, err)
+		}
+	}
+}
+
+// TestPairMixSymmetric pins the symmetry the adaptive/Valiant selection
+// depends on for hop-symmetric reverse routes.
+func TestPairMixSymmetric(t *testing.T) {
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 20; b++ {
+			if pairMix(a, b) != pairMix(b, a) {
+				t.Fatalf("pairMix(%d,%d) != pairMix(%d,%d)", a, b, b, a)
+			}
+		}
+	}
+}

@@ -11,8 +11,10 @@
 //
 // The package exposes the full tool chain:
 //
-//   - platform description (flat and hierarchical clusters, piece-wise
-//     linear network factor models);
+//   - platform description (flat, hierarchical, and crossbar clusters plus
+//     the topology zoo — k-ary fat trees, dragonflies, and 2D/3D tori with
+//     real deterministic routing — and piece-wise linear network factor
+//     models);
 //   - the trace format: parsing, writing, validation, streaming, the
 //     compiled TIB binary cache, and an importer registry (DUMPI ASCII,
 //     TAU profiles, custom formats) folding foreign acquisitions into the
